@@ -1,0 +1,53 @@
+// Ablation: how much adversary tolerance each weakening step costs.
+//
+//   Theorem 1 (exact Markov condition 10)
+//     → Theorem 2 (closed form 11, optimized ε)
+//       → neat asymptote 2μ/ln(μ/ν)
+// compared against both Kiffer renewal variants, across Δ — quantifying
+// the claims in the paper's "Novelty of our Theorem 1/2" discussion.
+#include <iostream>
+
+#include "bounds/frontier.hpp"
+#include "support/cli.hpp"
+#include "support/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace neatbound;
+  using bounds::BoundKind;
+  CliArgs args(argc, argv);
+  const double n = args.get_double("n", 1e5);
+  args.reject_unconsumed();
+
+  std::cout << "# Tightness ablation — nu_max by bound, across delta "
+               "(n=" << format_general(n) << ")\n";
+  TablePrinter table({"delta", "c", "thm1 exact", "thm2", "neat",
+                      "kiffer_corr", "thm2/thm1", "neat vs thm2"});
+  for (const double delta : {4.0, 64.0, 1e4, 1e13}) {
+    for (const double c : {1.0, 3.0, 10.0}) {
+      const double t1 =
+          bounds::nu_max(BoundKind::kZhaoTheorem1Exact, c, n, delta);
+      const double t2 = bounds::nu_max(BoundKind::kZhaoTheorem2, c, n, delta);
+      const double neat = bounds::nu_max(BoundKind::kZhaoNeat, c, n, delta);
+      const double kc =
+          bounds::nu_max(BoundKind::kKifferCorrected, c, n, delta);
+      table.add_row({format_general(delta, 3), format_fixed(c, 1),
+                     format_general(t1, 6), format_general(t2, 6),
+                     format_general(neat, 6), format_general(kc, 6),
+                     t1 > 0 ? format_fixed(t2 / t1, 4) : "-",
+                     t2 > 0 ? format_fixed(neat / t2, 4) : "-"});
+    }
+  }
+  table.print(std::cout);
+  std::cout
+      << "\nreading: at delta=1e13 the three Zhao frontiers collapse "
+         "(thm2/thm1 = 1), i.e. the neat bound gives away nothing at paper "
+         "scale;\nat small delta the closed form (thm2) pays a visible "
+         "price versus the exact Markov condition, and the bare asymptote "
+         "can even exceed thm1 — it is only valid once delta is large, "
+         "which is exactly what Theorem 2's 1/delta terms encode.\nThe "
+         "renewal-style frontier saturates near mu/2 for large c: counting "
+         "one opportunity per 2(delta+ell) rounds undercounts by ~2x, "
+         "which is the looseness the paper's Markov-chain analysis "
+         "removes.\n";
+  return 0;
+}

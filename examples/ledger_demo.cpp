@@ -1,0 +1,98 @@
+// Ledger-level consistency: the application view of Definition 1.
+//
+// Runs the protocol with the environment Z feeding transaction batches to
+// miners, reads the ledger of every honest player via ext(κ, C), and
+// reports how many trailing entries they disagree on — the T a wallet
+// must wait before treating a transaction as final — under a benign
+// network and under a withholding attack.
+//
+//   ./ledger_demo --miners=30 --delta=3 --c=4 --rounds=15000
+#include <iostream>
+#include <memory>
+
+#include "sim/engine.hpp"
+#include "sim/environment.hpp"
+#include "sim/strategies.hpp"
+#include "support/cli.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace neatbound;
+
+struct LedgerReport {
+  sim::RunResult run;
+  sim::LedgerAgreement agreement;
+  std::vector<std::string> sample;
+};
+
+LedgerReport run_with(std::uint32_t miners, double nu, std::uint64_t delta,
+                      double c, std::uint64_t rounds, std::uint64_t seed,
+                      std::unique_ptr<sim::Adversary> adversary) {
+  sim::EngineConfig config;
+  config.miner_count = miners;
+  config.adversary_fraction = nu;
+  config.delta = delta;
+  config.p = 1.0 / (c * static_cast<double>(miners) *
+                    static_cast<double>(delta));
+  config.rounds = rounds;
+  config.seed = seed;
+  sim::ExecutionEngine engine(
+      config, std::move(adversary),
+      std::make_unique<sim::SequentialTransactionEnvironment>());
+  LedgerReport report{engine.run(), {}, {}};
+  report.agreement =
+      sim::measure_ledger_agreement(engine.store(), engine.honest_tips());
+  const auto ledger =
+      engine.store().extract_messages(engine.best_honest_tip());
+  for (std::size_t i = 0; i < std::min<std::size_t>(3, ledger.size()); ++i) {
+    report.sample.push_back(ledger[i]);
+  }
+  return report;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  const auto miners = static_cast<std::uint32_t>(args.get_uint("miners", 30));
+  const std::uint64_t delta = args.get_uint("delta", 3);
+  const double c = args.get_double("c", 4.0);
+  const std::uint64_t rounds = args.get_uint("rounds", 15000);
+  const std::uint64_t seed = args.get_uint("seed", 7);
+  args.reject_unconsumed();
+
+  std::cout << "Ledger consistency demo: n=" << miners << " delta=" << delta
+            << " c=" << c << " T=" << rounds << "\n\n";
+
+  TablePrinter table({"scenario", "ledger length", "common prefix",
+                      "trailing disagreement", "reorg depth",
+                      "quality"});
+  const LedgerReport benign =
+      run_with(miners, 0.0, delta, c, rounds, seed,
+               std::make_unique<sim::MaxDelayAdversary>(delta));
+  table.add_row({"benign (max delay)",
+                 std::to_string(benign.agreement.max_length),
+                 std::to_string(benign.agreement.common_prefix),
+                 std::to_string(benign.agreement.suffix_disagreement),
+                 std::to_string(benign.run.max_reorg_depth),
+                 format_fixed(benign.run.chain.quality, 3)});
+  const LedgerReport attacked =
+      run_with(miners, 0.35, delta, c, rounds, seed,
+               std::make_unique<sim::PrivateWithholdAdversary>());
+  table.add_row({"withholding nu=0.35",
+                 std::to_string(attacked.agreement.max_length),
+                 std::to_string(attacked.agreement.common_prefix),
+                 std::to_string(attacked.agreement.suffix_disagreement),
+                 std::to_string(attacked.run.max_reorg_depth),
+                 format_fixed(attacked.run.chain.quality, 3)});
+  table.print(std::cout);
+
+  std::cout << "\nFirst ledger entries (ext of the best honest chain):\n";
+  for (const auto& entry : benign.sample) std::cout << "  " << entry << '\n';
+  std::cout << "\nhow to read: 'trailing disagreement' is the ledger-level "
+               "T of Definition 1 — entries deeper than it are final for "
+               "every honest player.  The withholding attacker raises the "
+               "required T via deep reorgs (see 'reorg depth').\n";
+  return 0;
+}

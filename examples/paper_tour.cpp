@@ -1,0 +1,119 @@
+// A guided tour of the paper, theorem by theorem, with every headline
+// claim recomputed live.  No flags; just run it.
+#include <cmath>
+#include <iostream>
+
+#include "bounds/frontier.hpp"
+#include "bounds/lemmas.hpp"
+#include "bounds/pss.hpp"
+#include "bounds/zhao.hpp"
+#include "chains/convergence.hpp"
+#include "chains/suffix_chain.hpp"
+#include "markov/stationary.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace neatbound;
+  std::cout <<
+      "================================================================\n"
+      " Zhao (ICDCS 2020): Blockchain Consistency in Asynchronous\n"
+      " Networks — a tour of the results, recomputed by this library\n"
+      "================================================================\n\n";
+
+  // --- Section III: the model quantities --------------------------------
+  const auto params = bounds::ProtocolParams::from_c(1e5, 1e13, 0.25, 2.0);
+  std::cout << "SECTION III — model quantities at n=1e5, delta=1e13, "
+               "nu=1/4, c=2 (Figure-1 scale):\n"
+            << "  p = 1/(c n delta) = " << format_sci(params.p(), 3)
+            << ", ln(alpha_bar) = " << format_sci(params.alpha_bar().log(), 3)
+            << ", alpha1/alpha = "
+            << format_fixed(
+                   std::exp(params.alpha1().log() - params.alpha().log()), 9)
+            << "\n  (two honest blocks in one round are vanishingly rare — "
+               "the H1 pattern dominates)\n\n";
+
+  // --- Section V-A: the suffix chain ------------------------------------
+  std::cout << "SECTION V-A — the suffix chain C_F (Fig. 2) at delta=3, "
+               "alpha=0.3:\n";
+  const chains::SuffixStateSpace space(3);
+  const auto matrix = chains::build_suffix_chain_matrix(space, 0.3);
+  const auto closed = chains::stationary_closed_form_vector(space, 0.3);
+  const auto solved = markov::solve_stationary_direct(matrix);
+  double worst = 0.0;
+  for (std::size_t i = 0; i < space.size(); ++i) {
+    worst = std::max(worst,
+                     std::fabs(closed[i] - solved.distribution[i]));
+  }
+  std::cout << "  closed form (Eq. 37) vs direct linear solve: max |err| = "
+            << format_sci(worst, 2) << " over " << space.size()
+            << " states\n"
+            << "  pi(HN>=3) = alpha_bar^3 = " << format_fixed(closed[3], 6)
+            << " (Eq. 37c)\n\n";
+
+  // --- Theorem 1 ---------------------------------------------------------
+  std::cout << "THEOREM 1 — consistency if alpha_bar^(2 delta) * alpha1 >= "
+               "(1+d1) p nu n:\n";
+  const auto sides = bounds::theorem1_sides(params);
+  std::cout << "  at the Section-III point: ln(conv rate) = "
+            << format_fixed(sides.convergence_rate.log(), 4)
+            << ", ln(adv rate) = "
+            << format_fixed(sides.adversary_rate.log(), 4)
+            << " -> margin e^"
+            << format_fixed(bounds::theorem1_margin(params).log(), 4)
+            << " (holds)\n\n";
+
+  // --- Theorem 2 / the neat bound ----------------------------------------
+  std::cout << "THEOREM 2 — the neat bound c > 2mu/ln(mu/nu):\n";
+  TablePrinter neat({"nu", "2mu/ln(mu/nu)", "full Thm-2 threshold",
+                     "overhead at delta=1e13"});
+  for (const double nu : {0.1, 0.25, 0.4}) {
+    const double neat_c = bounds::neat_bound_c(nu);
+    const double full_c = bounds::theorem2_c_infimum(nu, 1e13);
+    neat.add_row({format_fixed(nu, 2), format_fixed(neat_c, 9),
+                  format_fixed(full_c, 9),
+                  format_sci(full_c / neat_c - 1.0, 2)});
+  }
+  neat.print(std::cout);
+  std::cout << "  -> \"just slightly greater\": the overhead is ~1e-13.\n\n";
+
+  // --- Remark 1 ----------------------------------------------------------
+  const auto w1 = bounds::remark1_window(1e13, 1.0 / 6.0, 1.0 / 2.0);
+  const auto w2 = bounds::remark1_window(1e13, 1.0 / 8.0, 2.0 / 3.0);
+  std::cout << "REMARK 1 — explicit windows at delta = 1e13:\n"
+            << "  (d1,d2)=(1/6,1/2): nu in [10^"
+            << format_fixed(w1.log10_nu_lo, 1) << ", 1/2 - "
+            << format_sci(w1.half_minus_hi, 1) << "], factor 1 + "
+            << format_sci(w1.factor_minus_one, 1)
+            << "   (paper: [1e-63, 1/2 - 1e-7], 1 + 5e-5)\n"
+            << "  (d1,d2)=(1/8,2/3): nu in [10^"
+            << format_fixed(w2.log10_nu_lo, 1) << ", 1/2 - "
+            << format_sci(w2.half_minus_hi, 1) << "], factor 1 + "
+            << format_sci(w2.factor_minus_one, 1)
+            << "   (paper: [1e-18, 1/2 - 1e-9], 1 + 2e-3)\n\n";
+
+  // --- Figure 1 ----------------------------------------------------------
+  std::cout << "FIGURE 1 — who tolerates what at c = 2:\n"
+            << "  ours (magenta):  nu_max = "
+            << format_fixed(
+                   bounds::nu_max(bounds::BoundKind::kZhaoNeat, 2.0, 1e5,
+                                  1e13),
+                   4)
+            << "\n  PSS (blue):      nu_max = "
+            << format_fixed(bounds::pss_consistency_nu_max(2.0), 4)
+            << "  (zero: PSS needs c > 2)\n  attack (red):    breaks above "
+            << format_fixed(bounds::pss_attack_nu_threshold(2.0), 4)
+            << "\n  -> the paper's bound certifies 34% adversaries where "
+               "the prior art certified none.\n\n";
+
+  // --- The open gap ------------------------------------------------------
+  std::cout << "OPEN QUESTION (paper Section I): the magenta-red gap.  At "
+               "c = 2 it spans nu in ("
+            << format_fixed(
+                   bounds::nu_max(bounds::BoundKind::kZhaoNeat, 2.0, 1e5,
+                                  1e13),
+                   4)
+            << ", "
+            << format_fixed(bounds::pss_attack_nu_threshold(2.0), 4)
+            << ") — neither certified consistent nor known attackable.\n";
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Quickstart: evaluate the paper's consistency bound for your parameters.
+//
+//   ./quickstart --n=1e5 --delta=1e13 --nu=0.25 --c=2
+//
+// Reports the derived per-round quantities, whether Theorem 1 / Theorem 2 /
+// PSS certify consistency, the tolerance frontier at your c, and the
+// minimum c for your ν.
+#include <iostream>
+
+#include "bounds/frontier.hpp"
+#include "bounds/pss.hpp"
+#include "bounds/zhao.hpp"
+#include "support/cli.hpp"
+#include "support/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace neatbound;
+  using bounds::BoundKind;
+
+  CliArgs args(argc, argv);
+  const double n = args.get_double("n", 1e5);
+  const double delta = args.get_double("delta", 1e13);
+  const double nu = args.get_double("nu", 0.25);
+  const double c = args.get_double("c", 2.0);
+  args.reject_unconsumed();
+
+  const auto params = bounds::ProtocolParams::from_c(n, delta, nu, c);
+
+  std::cout << "Parameters\n"
+            << "  n      = " << format_general(params.n()) << "  (miners)\n"
+            << "  delta  = " << format_general(params.delta())
+            << "  (max message delay, rounds)\n"
+            << "  nu     = " << format_fixed(params.nu(), 4)
+            << "  (adversarial fraction; mu = "
+            << format_fixed(params.mu(), 4) << ")\n"
+            << "  c      = " << format_general(params.c())
+            << "  (expected delta-delays per block; p = "
+            << format_sci(params.p(), 3) << ")\n\n";
+
+  std::cout << "Per-round quantities (Table I)\n"
+            << "  ln(alpha)     = " << format_general(params.alpha().log(), 6)
+            << "   P[some honest block]\n"
+            << "  ln(alpha_bar) = "
+            << format_general(params.alpha_bar().log(), 6)
+            << "   P[no honest block]\n"
+            << "  ln(alpha1)    = " << format_general(params.alpha1().log(), 6)
+            << "   P[exactly one honest block]\n"
+            << "  p*nu*n        = " << format_sci(params.adversary_rate(), 3)
+            << "   adversary blocks per round\n\n";
+
+  const double neat = bounds::neat_bound_c(nu);
+  const double full = bounds::theorem2_c_infimum(nu, delta);
+  const double margin = bounds::theorem1_margin(params).log();
+  std::cout << "Consistency verdicts at (nu, c)\n"
+            << "  neat bound:  need c > 2mu/ln(mu/nu) = "
+            << format_general(neat, 6) << "  ->  "
+            << (c > neat ? "OK" : "VIOLATED") << '\n'
+            << "  Theorem 2:   need c > " << format_general(full, 6)
+            << "  ->  " << (c > full ? "OK" : "VIOLATED") << '\n'
+            << "  Theorem 1:   ln(conv.rate / adv.rate) = "
+            << format_general(margin, 4) << "  ->  "
+            << (margin > 0 ? "OK" : "VIOLATED") << '\n'
+            << "  PSS (2017):  need c > "
+            << format_general(bounds::pss_consistency_c_min(nu), 6)
+            << "  ->  "
+            << (bounds::pss_consistency_exact(params) ? "OK" : "VIOLATED")
+            << '\n'
+            << "  PSS attack:  breaks consistency for nu > "
+            << format_fixed(bounds::pss_attack_nu_threshold(c), 6)
+            << "  ->  "
+            << (bounds::pss_attack_applies(nu, c) ? "ATTACK APPLIES" : "safe")
+            << "\n\n";
+
+  std::cout << "Tolerance frontier at your c\n";
+  TablePrinter table({"bound", "nu_max at c=" + format_general(c)});
+  for (const BoundKind kind :
+       {BoundKind::kZhaoTheorem1Exact, BoundKind::kZhaoTheorem2,
+        BoundKind::kZhaoNeat, BoundKind::kPssConsistency,
+        BoundKind::kPssAttack}) {
+    table.add_row({bounds::bound_name(kind),
+                   format_fixed(bounds::nu_max(kind, c, n, delta), 6)});
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,54 @@
+#include "analysis/figure1.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "bounds/frontier.hpp"
+
+namespace neatbound::analysis {
+
+std::vector<double> figure1_c_grid(std::size_t fill_points) {
+  std::vector<double> grid = {0.1, 0.3, 1.0, 2.0, 3.0, 10.0, 30.0, 100.0};
+  const double lo = std::log10(0.1);
+  const double hi = std::log10(100.0);
+  for (std::size_t i = 0; i < fill_points; ++i) {
+    const double frac =
+        static_cast<double>(i) / static_cast<double>(fill_points - 1);
+    grid.push_back(std::pow(10.0, lo + frac * (hi - lo)));
+  }
+  std::sort(grid.begin(), grid.end());
+  grid.erase(std::unique(grid.begin(), grid.end(),
+                         [](double a, double b) {
+                           return std::fabs(a - b) < 1e-9 * std::max(a, b);
+                         }),
+             grid.end());
+  return grid;
+}
+
+std::vector<Figure1Row> figure1_series(std::span<const double> c_values,
+                                       double n, double delta) {
+  using bounds::BoundKind;
+  std::vector<Figure1Row> rows;
+  rows.reserve(c_values.size());
+  for (const double c : c_values) {
+    Figure1Row row;
+    row.c = c;
+    row.nu_zhao_neat = bounds::nu_max(BoundKind::kZhaoNeat, c, n, delta);
+    row.nu_zhao_theorem2 =
+        bounds::nu_max(BoundKind::kZhaoTheorem2, c, n, delta);
+    row.nu_zhao_theorem1 =
+        bounds::nu_max(BoundKind::kZhaoTheorem1Exact, c, n, delta);
+    row.nu_pss = bounds::nu_max(BoundKind::kPssConsistency, c, n, delta);
+    row.nu_pss_exact =
+        bounds::nu_max(BoundKind::kPssConsistencyExact, c, n, delta);
+    row.nu_attack = bounds::nu_max(BoundKind::kPssAttack, c, n, delta);
+    row.nu_kiffer_corrected =
+        bounds::nu_max(BoundKind::kKifferCorrected, c, n, delta);
+    row.nu_kiffer_published =
+        bounds::nu_max(BoundKind::kKifferAsPublished, c, n, delta);
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+}  // namespace neatbound::analysis

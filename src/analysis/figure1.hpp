@@ -1,0 +1,37 @@
+// Figure 1 of the paper: maximum tolerable adversarial fraction ν versus
+// c = 1/(pnΔ), at n = 10⁵ and Δ = 10¹³, for
+//   * the paper's bound (magenta): c > 2μ/ln(μ/ν),
+//   * PSS consistency (blue):      ν < (2−c+√(c²−2c))/2,
+//   * the PSS attack (red):        ν > (2c+1−√(4c²+1))/2,
+// extended here with the bounds the paper discusses but does not plot:
+// the exact Theorem 1 frontier, the full Theorem 2 expression, and the
+// two Kiffer renewal variants.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace neatbound::analysis {
+
+struct Figure1Row {
+  double c = 0.0;
+  double nu_zhao_neat = 0.0;        ///< magenta line
+  double nu_zhao_theorem2 = 0.0;    ///< full Ineq. (11), optimized ε
+  double nu_zhao_theorem1 = 0.0;    ///< exact Markov condition (10)
+  double nu_pss = 0.0;              ///< blue line
+  double nu_pss_exact = 0.0;        ///< exact α(1−(2Δ+2)α) > β frontier
+  double nu_attack = 0.0;           ///< red line
+  double nu_kiffer_corrected = 0.0;
+  double nu_kiffer_published = 0.0;
+};
+
+/// The paper's axis ticks (0.1, 0.3, 1, 2, 3, 10, 30, 100) merged with a
+/// log-spaced fill-in grid over [0.1, 100].
+[[nodiscard]] std::vector<double> figure1_c_grid(std::size_t fill_points = 25);
+
+/// Computes all frontier columns at each c.  Defaults match the paper:
+/// n = 10⁵, Δ = 10¹³.
+[[nodiscard]] std::vector<Figure1Row> figure1_series(
+    std::span<const double> c_values, double n = 1e5, double delta = 1e13);
+
+}  // namespace neatbound::analysis

@@ -1,0 +1,65 @@
+#include "analysis/tables.hpp"
+
+#include "bounds/pss.hpp"
+
+namespace neatbound::analysis {
+
+DerivedQuantitiesRow derived_quantities(const bounds::ProtocolParams& params) {
+  DerivedQuantitiesRow row{};
+  row.n = params.n();
+  row.p = params.p();
+  row.delta = params.delta();
+  row.nu = params.nu();
+  row.c = params.c();
+  row.mu = params.mu();
+  row.log_alpha = params.alpha().log();
+  row.log_alpha_bar = params.alpha_bar().log();
+  row.log_alpha1 = params.alpha1().log();
+  row.alpha_linear = params.alpha().linear();
+  row.adversary_rate = params.adversary_rate();
+  row.theorem1_log_margin = bounds::theorem1_margin(params).log();
+  row.theorem1_ok = row.theorem1_log_margin > 0.0;
+  row.theorem2_ok =
+      params.c() > bounds::theorem2_c_infimum(params.nu(), params.delta());
+  row.pss_ok = bounds::pss_consistency_exact(params);
+  return row;
+}
+
+std::vector<bounds::ProtocolParams> representative_points() {
+  using bounds::ProtocolParams;
+  std::vector<ProtocolParams> points;
+  // Paper scale (n = 10⁵, Δ = 10¹³) at several (c, ν):
+  points.push_back(ProtocolParams::from_c(1e5, 1e13, 0.10, 1.0));
+  points.push_back(ProtocolParams::from_c(1e5, 1e13, 0.25, 2.0));
+  points.push_back(ProtocolParams::from_c(1e5, 1e13, 0.40, 5.0));
+  points.push_back(ProtocolParams::from_c(1e5, 1e13, 0.49, 30.0));
+  // Laptop scale (what the execution engine simulates):
+  points.push_back(ProtocolParams::from_c(120, 4, 0.25, 4.0));
+  points.push_back(ProtocolParams::from_c(200, 8, 0.30, 8.0));
+  return points;
+}
+
+std::vector<Remark1Row> remark1_rows(double delta) {
+  // The paper's two exponent pairs first, then a finer sweep showing how
+  // the window/factor trade-off moves with (δ₁, δ₂).
+  const std::vector<std::pair<double, double>> exponents = {
+      {1.0 / 6.0, 1.0 / 2.0}, {1.0 / 8.0, 2.0 / 3.0}, {1.0 / 10.0, 1.0 / 2.0},
+      {1.0 / 4.0, 1.0 / 2.0}, {1.0 / 6.0, 2.0 / 3.0}, {1.0 / 8.0, 1.0 / 2.0},
+  };
+  std::vector<Remark1Row> rows;
+  rows.reserve(exponents.size());
+  for (const auto& [d1, d2] : exponents) {
+    Remark1Row row;
+    row.d1 = d1;
+    row.d2 = d2;
+    row.window = bounds::remark1_window(delta, d1, d2);
+    row.probe_nu = 0.25;  // comfortably inside every window above
+    row.c_threshold =
+        bounds::remark1_c_threshold(row.probe_nu, delta, d1, d2, /*eps2=*/0.0);
+    row.c_neat = bounds::neat_bound_c(row.probe_nu);
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+}  // namespace neatbound::analysis

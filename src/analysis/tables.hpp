@@ -1,0 +1,48 @@
+// Table-style artifacts: Table I derived quantities and the Remark 1
+// windows.
+#pragma once
+
+#include <vector>
+
+#include "bounds/params.hpp"
+#include "bounds/zhao.hpp"
+
+namespace neatbound::analysis {
+
+/// One row of the "derived quantities" table (our rendering of Table I):
+/// for a parameter point, every symbol the paper defines.
+struct DerivedQuantitiesRow {
+  double n, p, delta, nu;
+  double c;
+  double mu;
+  double log_alpha;      ///< ln α
+  double log_alpha_bar;  ///< ln ᾱ
+  double log_alpha1;     ///< ln α₁
+  double alpha_linear;   ///< α (may underflow to 0 at extreme scales)
+  double adversary_rate; ///< pνn
+  double theorem1_log_margin;  ///< ln(ᾱ^{2Δ}α₁/(pνn))
+  bool theorem1_ok;
+  bool theorem2_ok;      ///< via optimized-ε infimum
+  bool pss_ok;           ///< exact PSS condition
+};
+
+[[nodiscard]] DerivedQuantitiesRow derived_quantities(
+    const bounds::ProtocolParams& params);
+
+/// Default representative parameter points (paper scale and lab scale).
+[[nodiscard]] std::vector<bounds::ProtocolParams> representative_points();
+
+/// One Remark 1 row: exponent pair, window, factor, and the resulting c
+/// threshold at a probe ν inside the window.
+struct Remark1Row {
+  double d1, d2;
+  bounds::Remark1Window window;
+  double probe_nu;        ///< a ν inside the window used for the threshold
+  double c_threshold;     ///< Ineq. (13) at probe ν with ε₂ → 0
+  double c_neat;          ///< 2μ/ln(μ/ν) at probe ν
+};
+
+/// The paper's two exponent pairs (1/6, 1/2) and (1/8, 2/3) plus a sweep.
+[[nodiscard]] std::vector<Remark1Row> remark1_rows(double delta = 1e13);
+
+}  // namespace neatbound::analysis

@@ -1,0 +1,59 @@
+// Theory-vs-simulation validation drivers (Eq. 26/27/44 and consistency).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "stats/intervals.hpp"
+#include "stats/summary.hpp"
+
+namespace neatbound::analysis {
+
+/// Convergence-opportunity rate: analytic ᾱ^{2Δ}α₁ vs the aggregate
+/// engine's empirical frequency.
+struct ConvergenceRateRow {
+  double n, delta, c, nu;
+  double analytic_rate;   ///< ᾱ^{2Δ}α₁      (Eq. 44)
+  double expected_count;  ///< T·ᾱ^{2Δ}α₁    (Eq. 26)
+  double simulated_mean;  ///< mean count across seeds
+  double simulated_stderr;
+  stats::Interval ci;     ///< 95% CI on the mean count
+  double ratio;           ///< simulated / expected
+};
+
+[[nodiscard]] ConvergenceRateRow validate_convergence_rate(
+    double n, double delta, double c, double nu, std::uint64_t rounds,
+    std::uint32_t seeds, std::uint64_t base_seed = 777);
+
+/// Adversary block count: analytic Tpνn vs simulation (Eq. 27), plus the
+/// Arratia–Gordon tail evaluated at the observed deviation (Eq. 49).
+struct AdversaryCountRow {
+  double n, delta, c, nu;
+  double expected_count;  ///< Tpνn
+  double simulated_mean;
+  double simulated_stderr;
+  double ratio;
+  double tail_exponent_at_10pct;  ///< ln P[A ≥ 1.1·E A] bound per Eq. (49)
+};
+
+[[nodiscard]] AdversaryCountRow validate_adversary_count(
+    double n, double delta, double c, double nu, std::uint64_t rounds,
+    std::uint32_t seeds, std::uint64_t base_seed = 999);
+
+/// Stationary distribution of the suffix chain: closed form (Eq. 37) vs
+/// numeric solvers vs empirical random-walk visits.
+struct StationaryComparisonRow {
+  std::uint64_t delta;
+  double alpha;
+  double max_abs_err_power;   ///< closed form vs power iteration
+  double max_abs_err_fixed;   ///< closed form vs damped fixed point
+  double max_abs_err_walk;    ///< closed form vs 10⁶-step walk frequencies
+  double closed_form_sum;     ///< Σπ (should be 1)
+  bool ergodic;               ///< structural check result
+};
+
+[[nodiscard]] StationaryComparisonRow compare_stationary(
+    std::uint64_t delta, double alpha, std::uint64_t walk_steps = 1000000,
+    std::uint64_t seed = 4242);
+
+}  // namespace neatbound::analysis

@@ -1,0 +1,77 @@
+#include "bounds/confirmation.hpp"
+
+#include <cmath>
+
+#include "bounds/zhao.hpp"
+#include "chains/convergence.hpp"
+#include "markov/chernoff.hpp"
+#include "stats/large_deviations.hpp"
+#include "support/math.hpp"
+
+namespace neatbound::bounds {
+
+ConfirmationBound confirmation_failure_bound(const ProtocolParams& params,
+                                             double tau, double rounds,
+                                             double phi_pi_norm) {
+  NEATBOUND_EXPECTS(tau >= 1.0, "mixing time must be >= 1");
+  NEATBOUND_EXPECTS(rounds > 0.0, "window must be positive");
+  const double log_margin = theorem1_margin(params).log();
+  NEATBOUND_EXPECTS(log_margin > 0.0,
+                    "confirmation bound requires Theorem 1 margin > 1");
+
+  ConfirmationBound bound;
+  const double one_plus_d1 = std::exp(log_margin);
+  bound.delta1 = one_plus_d1 - 1.0;
+  // Eq. (23): δ₂ = 1 − (1+δ₁)^{-1/3}, δ₃ = (1+δ₁)^{1/3} − 1, chosen so
+  // (1−δ₂)(1+δ₁) − (1+δ₃) > 0.
+  bound.delta2 = 1.0 - std::pow(one_plus_d1, -1.0 / 3.0);
+  bound.delta3 = std::pow(one_plus_d1, 1.0 / 3.0) - 1.0;
+
+  const double rate = chains::convergence_opportunity_probability(
+                          params.alpha_bar(), params.alpha1(),
+                          static_cast<std::uint64_t>(params.delta()))
+                          .linear();
+  markov::MarkovChernoffParams mc;
+  mc.stationary_mass = rate;
+  mc.steps = rounds;
+  mc.delta = bound.delta2;
+  mc.mixing_time = tau;
+  mc.phi_pi_norm = phi_pi_norm;
+  bound.log_c_tail = markov::markov_chernoff_lower(mc).log();
+
+  bound.log_a_tail = stats::binomial_upper_tail_bound(
+                         rounds * params.adversary_trials(), params.p(),
+                         bound.delta3)
+                         .log();
+  bound.log_failure = log_add_exp(bound.log_c_tail, bound.log_a_tail);
+  return bound;
+}
+
+std::optional<ConfirmationWindow> required_confirmation_window(
+    const ProtocolParams& params, double tau, double target_probability,
+    double max_rounds, double phi_pi_norm) {
+  NEATBOUND_EXPECTS(target_probability > 0.0 && target_probability < 1.0,
+                    "target probability must be in (0,1)");
+  if (theorem1_margin(params).log() <= 0.0) return std::nullopt;
+  const double log_target = std::log(target_probability);
+
+  const auto meets = [&](double rounds) {
+    return confirmation_failure_bound(params, tau, rounds, phi_pi_norm)
+               .log_failure <= log_target;
+  };
+  if (!meets(max_rounds)) return std::nullopt;
+  // The failure bound decreases in T; find the frontier of "too small".
+  const auto too_small = [&meets](double rounds) { return !meets(rounds); };
+  double window = 1.0;
+  if (too_small(1.0)) {
+    const auto r = bisect_last_true_log(too_small, 1.0, max_rounds, 1e-6);
+    window = r.value;
+  }
+  ConfirmationWindow result;
+  result.rounds = window;
+  result.expected_blocks = window * params.alpha().linear();
+  result.delta_delays = window / params.delta();
+  return result;
+}
+
+}  // namespace neatbound::bounds

@@ -1,0 +1,52 @@
+// Confirmation-window calculator: the paper's proof machinery turned into
+// an operational answer — "after how many rounds is a block final except
+// with probability ≤ target?".
+//
+// The failure bound for a window of T rounds is assembled exactly as in
+// Section V:
+//   * margin δ₁ from the Theorem-1 ratio ᾱ^{2Δ}α₁ / (pνn),
+//   * the δ₂/δ₃ split of Eq. (23),
+//   * lower tail of C(t₀,t₀+T−1): Chernoff–Hoeffding for Markov chains
+//     (Eq. 47) with a caller-supplied mixing time τ (computed from the
+//     explicit suffix chain at laptop scale),
+//   * upper tail of A(t₀,t₀+T−1): Arratia–Gordon (Eq. 49),
+// summed by union bound.
+#pragma once
+
+#include <optional>
+
+#include "bounds/params.hpp"
+
+namespace neatbound::bounds {
+
+struct ConfirmationBound {
+  double delta1 = 0.0;      ///< Theorem-1 margin − 1
+  double delta2 = 0.0;      ///< Eq. (23) lower-tail split
+  double delta3 = 0.0;      ///< Eq. (23) upper-tail split
+  double log_c_tail = 0.0;  ///< ln of the Eq. (47) bound
+  double log_a_tail = 0.0;  ///< ln of the Eq. (49) bound
+  double log_failure = 0.0; ///< ln(union bound)
+};
+
+/// Failure bound for a window of `rounds` rounds with ε-mixing time `tau`
+/// (τ(1/8) of C_{F‖P}; use the explicit C_F value as a proxy at laptop
+/// scale) and initial-distribution π-norm `phi_pi_norm` (1 for a
+/// stationary start; Proposition 1 bounds the worst case).
+/// Precondition: Theorem 1 margin > 1 at `params`.
+[[nodiscard]] ConfirmationBound confirmation_failure_bound(
+    const ProtocolParams& params, double tau, double rounds,
+    double phi_pi_norm = 1.0);
+
+struct ConfirmationWindow {
+  double rounds = 0.0;           ///< smallest window meeting the target
+  double expected_blocks = 0.0;  ///< α·rounds honest-block arrivals
+  double delta_delays = 0.0;     ///< rounds/Δ
+};
+
+/// Smallest window T with confirmation_failure_bound ≤ target, or nullopt
+/// if the margin is non-positive or `max_rounds` does not suffice.
+[[nodiscard]] std::optional<ConfirmationWindow> required_confirmation_window(
+    const ProtocolParams& params, double tau, double target_probability,
+    double max_rounds = 1e12, double phi_pi_norm = 1.0);
+
+}  // namespace neatbound::bounds

@@ -1,0 +1,100 @@
+#include "bounds/frontier.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "bounds/kiffer.hpp"
+#include "bounds/pss.hpp"
+#include "bounds/zhao.hpp"
+#include "support/math.hpp"
+
+namespace neatbound::bounds {
+
+std::string bound_name(BoundKind kind) {
+  switch (kind) {
+    case BoundKind::kZhaoNeat:
+      return "Zhao neat bound 2mu/ln(mu/nu)";
+    case BoundKind::kZhaoTheorem2:
+      return "Zhao Theorem 2 (optimized eps)";
+    case BoundKind::kZhaoTheorem1Exact:
+      return "Zhao Theorem 1 (exact Markov)";
+    case BoundKind::kPssConsistency:
+      return "PSS consistency (closed form)";
+    case BoundKind::kPssConsistencyExact:
+      return "PSS consistency (exact)";
+    case BoundKind::kPssAttack:
+      return "PSS attack frontier";
+    case BoundKind::kKifferAsPublished:
+      return "Kiffer renewal (as published)";
+    case BoundKind::kKifferCorrected:
+      return "Kiffer renewal (corrected)";
+  }
+  return "?";
+}
+
+bool certifies(BoundKind kind, const ProtocolParams& params) {
+  switch (kind) {
+    case BoundKind::kZhaoNeat:
+      return params.c() > neat_bound_c(params.nu());
+    case BoundKind::kZhaoTheorem2:
+      return params.c() > theorem2_c_infimum(params.nu(), params.delta());
+    case BoundKind::kZhaoTheorem1Exact:
+      return theorem1_margin(params) > LogProb::one();
+    case BoundKind::kPssConsistency:
+      return params.nu() < pss_consistency_nu_max(params.c());
+    case BoundKind::kPssConsistencyExact:
+      return pss_consistency_exact(params);
+    case BoundKind::kPssAttack:
+      return !pss_attack_applies(params.nu(), params.c());
+    case BoundKind::kKifferAsPublished:
+      return kiffer_opportunity_rate(params, KifferVariant::kAsPublished) >
+             params.adversary_rate();
+    case BoundKind::kKifferCorrected:
+      return kiffer_opportunity_rate(params, KifferVariant::kCorrected) >
+             params.adversary_rate();
+  }
+  return false;
+}
+
+namespace {
+constexpr double kNuFloor = 1e-80;
+constexpr double kNuCeil = 0.5 - 1e-15;
+constexpr double kCFloor = 1e-6;
+constexpr double kCCeil = 1e9;
+}  // namespace
+
+double nu_max(BoundKind kind, double c, double n, double delta) {
+  NEATBOUND_EXPECTS(c > 0.0, "c must be positive");
+  // Closed forms first.
+  if (kind == BoundKind::kPssConsistency) return pss_consistency_nu_max(c);
+  if (kind == BoundKind::kPssAttack) return pss_attack_nu_threshold(c);
+
+  const auto pred = [&](double nu) {
+    return certifies(kind, ProtocolParams::from_c(n, delta, nu, c));
+  };
+  if (!pred(kNuFloor)) return 0.0;
+  if (pred(kNuCeil)) return kNuCeil;
+  return bisect_last_true_log(pred, kNuFloor, kNuCeil).value;
+}
+
+double c_min(BoundKind kind, double nu, double n, double delta) {
+  NEATBOUND_EXPECTS(nu > 0.0 && nu < 0.5, "requires nu in (0, 1/2)");
+  switch (kind) {
+    case BoundKind::kZhaoNeat:
+      return neat_bound_c(nu);
+    case BoundKind::kZhaoTheorem2:
+      return theorem2_c_infimum(nu, delta);
+    case BoundKind::kPssConsistency:
+      return pss_consistency_c_min(nu);
+    default:
+      break;
+  }
+  const auto fails = [&](double c) {
+    return !certifies(kind, ProtocolParams::from_c(n, delta, nu, c));
+  };
+  if (!fails(kCFloor)) return kCFloor;
+  if (fails(kCCeil)) return std::numeric_limits<double>::infinity();
+  return bisect_last_true_log(fails, kCFloor, kCCeil).value;
+}
+
+}  // namespace neatbound::bounds

@@ -1,0 +1,43 @@
+// Unified tolerance frontiers: for each bound, the maximum adversarial
+// fraction ν_max tolerated at a given c (Figure 1's y-axis) and the
+// minimum c required at a given ν.
+//
+// Closed-form bounds evaluate directly; predicate-style bounds (Theorem 1,
+// exact PSS, Kiffer variants) are inverted by monotone bisection over ν on
+// a log grid spanning [10⁻⁸⁰, ½).
+#pragma once
+
+#include <string>
+
+#include "bounds/params.hpp"
+
+namespace neatbound::bounds {
+
+enum class BoundKind {
+  kZhaoNeat,           ///< asymptote c > 2μ/ln(μ/ν)               (headline)
+  kZhaoTheorem2,       ///< full Ineq. (11) with optimized ε₁, ε₂→0 (Thm 2/3)
+  kZhaoTheorem1Exact,  ///< exact Markov condition (10), δ₁ → 0     (Thm 1)
+  kPssConsistency,     ///< blue line: ν < (2−c+√(c²−2c))/2
+  kPssConsistencyExact,///< α(1−(2Δ+2)α) > β at the exact (n,p,Δ)
+  kPssAttack,          ///< red line: attack succeeds above (2c+1−√(4c²+1))/2
+  kKifferAsPublished,  ///< renewal bound with ℓ = 1/(pμn)
+  kKifferCorrected,    ///< renewal bound with ℓ = 1/α
+};
+
+[[nodiscard]] std::string bound_name(BoundKind kind);
+
+/// Largest ν ∈ (0, ½) for which `kind` certifies consistency at the given
+/// c (or, for kPssAttack, the smallest ν at which the attack succeeds).
+/// n and delta are needed by the exact bounds; closed-form bounds ignore
+/// them.  Returns 0 when no ν > 10⁻⁸⁰ is tolerated.
+[[nodiscard]] double nu_max(BoundKind kind, double c, double n, double delta);
+
+/// Smallest c for which `kind` certifies consistency at the given ν.
+/// Returns +inf when no c ≤ 10⁹ suffices.
+[[nodiscard]] double c_min(BoundKind kind, double nu, double n, double delta);
+
+/// Whether `kind` certifies consistency for the full parameter tuple.
+/// (For kPssAttack this instead reports "the attack does NOT succeed".)
+[[nodiscard]] bool certifies(BoundKind kind, const ProtocolParams& params);
+
+}  // namespace neatbound::bounds

@@ -1,0 +1,37 @@
+#include "bounds/growth_quality.hpp"
+
+#include <algorithm>
+
+namespace neatbound::bounds {
+
+double growth_pessimistic(const ProtocolParams& params) {
+  const double alpha = params.alpha().linear();
+  return (params.alpha_bar().pow(params.delta() - 1.0) *
+          LogProb::from_linear(alpha))
+      .linear();
+}
+
+double growth_renewal(const ProtocolParams& params) {
+  const double alpha = params.alpha().linear();
+  return alpha / (1.0 + params.delta() * alpha);
+}
+
+double growth_upper(const ProtocolParams& params) {
+  return params.alpha().linear();
+}
+
+double quality_bound_for_growth(const ProtocolParams& params, double growth) {
+  NEATBOUND_EXPECTS(growth > 0.0, "growth must be positive");
+  const double q = 1.0 - params.adversary_rate() / growth;
+  return std::clamp(q, 0.0, 1.0);
+}
+
+double quality_pessimistic(const ProtocolParams& params) {
+  return quality_bound_for_growth(params, growth_pessimistic(params));
+}
+
+double quality_ideal_share(const ProtocolParams& params) {
+  return std::clamp(1.0 - params.nu() / params.mu(), 0.0, 1.0);
+}
+
+}  // namespace neatbound::bounds

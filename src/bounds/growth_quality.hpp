@@ -1,0 +1,45 @@
+// Chain growth and chain quality in the Δ-delay model — the two §II
+// properties the paper defers to future work, provided here as the
+// standard analytical companions so the simulator has something exact to
+// be compared against.
+//
+// * Growth: honest players' chains grow at least at the rate at which
+//   "isolated-enough" honest successes arrive.  Two classical estimates:
+//     g_pessimistic = ᾱ^{Δ−1}·α   (a success preceded by Δ−1 quiet rounds
+//                                  definitely adds one height — the
+//                                  PSS-style lower bound), and
+//     g_renewal     = α/(1+Δα)    (one success per busy period of length
+//                                  1/α plus a Δ propagation stall).
+// * Quality: out of the blocks in any long window of an honest chain, the
+//   adversary contributes at most its mining share against the honest
+//   *growth*:  q_bound = 1 − pνn/g.
+#pragma once
+
+#include "bounds/params.hpp"
+
+namespace neatbound::bounds {
+
+/// ᾱ^{Δ−1}·α — rate of honest successes with Δ−1 quiet predecessors
+/// (each necessarily increases every honest chain's length by ≥ 1).
+[[nodiscard]] double growth_pessimistic(const ProtocolParams& params);
+
+/// α/(1+Δα) — the renewal estimate of growth under worst-case Δ delays.
+[[nodiscard]] double growth_renewal(const ProtocolParams& params);
+
+/// 1/Δ-free upper bound: growth can never exceed α (one level per round
+/// with ≥1 honest success) — useful as a sanity envelope.
+[[nodiscard]] double growth_upper(const ProtocolParams& params);
+
+/// Chain-quality lower bound 1 − pνn/g for a given growth rate g (clamped
+/// to [0,1]); the adversary can displace at most one honest block per
+/// adversarial block.
+[[nodiscard]] double quality_bound_for_growth(const ProtocolParams& params,
+                                              double growth);
+
+/// Convenience: quality bound at the pessimistic growth estimate.
+[[nodiscard]] double quality_pessimistic(const ProtocolParams& params);
+
+/// Ideal-share quality 1 − ν/μ (the selfish-mining benchmark line).
+[[nodiscard]] double quality_ideal_share(const ProtocolParams& params);
+
+}  // namespace neatbound::bounds

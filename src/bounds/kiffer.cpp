@@ -1,0 +1,28 @@
+#include "bounds/kiffer.hpp"
+
+#include "support/contracts.hpp"
+
+namespace neatbound::bounds {
+
+double kiffer_opportunity_rate(const ProtocolParams& params,
+                               KifferVariant variant) {
+  double ell = 0.0;
+  switch (variant) {
+    case KifferVariant::kAsPublished:
+      ell = 1.0 / (params.p() * params.honest_trials());
+      break;
+    case KifferVariant::kCorrected:
+      ell = 1.0 / params.alpha().linear();
+      break;
+  }
+  return 1.0 / (2.0 * params.delta() + 2.0 * ell);
+}
+
+bool kiffer_condition_holds(const ProtocolParams& params,
+                            KifferVariant variant, double delta1) {
+  NEATBOUND_EXPECTS(delta1 >= 0.0, "delta1 must be non-negative");
+  return kiffer_opportunity_rate(params, variant) >=
+         (1.0 + delta1) * params.adversary_rate();
+}
+
+}  // namespace neatbound::bounds

@@ -1,0 +1,38 @@
+// Kiffer–Rajaraman–shelat (CCS 2018)-style Markov bound, in two variants.
+//
+// [6] bounds consistency by comparing the long-run rate of convergence
+// opportunities — estimated from a renewal argument with expected
+// inter-block waiting times ℓ — against the adversary's block rate pνn.
+// A convergence-opportunity cycle consists of an honest block, a Δ-round
+// quiet period, an isolated honest block and another Δ-round quiet period,
+// giving an opportunity rate of roughly 1/(2Δ + 2ℓ) where ℓ is the
+// expected number of rounds until some honest block appears.
+//
+// The paper (§IV, "Novelty of our Theorem 1") points out that [6]
+// computes ℓ incorrectly as 1/(μnp) where it should be 1/α with
+// α = 1 − (1−p)^{μn}.  Both variants are provided:
+//   * as-published: ℓ = 1/(pμn)
+//   * corrected:    ℓ = 1/α
+// The two coincide asymptotically as pμn → 0 and diverge as block rates
+// grow, which bench_tightness_ablation tabulates.
+#pragma once
+
+#include "bounds/params.hpp"
+
+namespace neatbound::bounds {
+
+enum class KifferVariant {
+  kAsPublished,  ///< ℓ = 1/(pμn)  (the computation the paper flags as wrong)
+  kCorrected,    ///< ℓ = 1/α      (the fix the paper prescribes)
+};
+
+/// Estimated convergence-opportunity rate 1/(2Δ + 2ℓ).
+[[nodiscard]] double kiffer_opportunity_rate(const ProtocolParams& params,
+                                             KifferVariant variant);
+
+/// The consistency condition: opportunity rate ≥ (1+δ)·pνn.
+[[nodiscard]] bool kiffer_condition_holds(const ProtocolParams& params,
+                                          KifferVariant variant,
+                                          double delta1);
+
+}  // namespace neatbound::bounds

@@ -1,0 +1,112 @@
+#include "bounds/lemmas.hpp"
+
+#include <cmath>
+
+#include "bounds/zhao.hpp"
+#include "support/contracts.hpp"
+
+namespace neatbound::bounds {
+
+Lemma2Sides lemma2_sides(const ProtocolParams& params) {
+  const double pmn = params.p() * params.honest_trials();
+  NEATBOUND_EXPECTS(pmn > 0.0 && pmn < 1.0,
+                    "Lemma 2 requires 0 < p*mu*n < 1 (condition 65)");
+  Lemma2Sides sides;
+  sides.alpha1 = params.alpha1().linear();
+  sides.lower_bound = pmn * (1.0 - pmn);
+  return sides;
+}
+
+bool lemma2_condition_66(const ProtocolParams& params, double delta1) {
+  NEATBOUND_EXPECTS(delta1 > 0.0, "requires delta1 > 0");
+  const double pmn = params.p() * params.honest_trials();
+  NEATBOUND_EXPECTS(pmn < 1.0, "condition (65) requires p*mu*n < 1");
+  const double two_delta = 2.0 * params.delta();
+  // RHS in log space: ((1+δ₁)/(1−pμn)·ν/μ)^{1/(2Δ)}.
+  const double log_rhs =
+      (std::log1p(delta1) - std::log1p(-pmn) +
+       std::log(params.nu() / params.mu())) /
+      two_delta;
+  return params.alpha_bar().log() >= log_rhs;
+}
+
+Lemma3Sides lemma3_sides(const ProtocolParams& params, double eps1,
+                         double delta4) {
+  NEATBOUND_EXPECTS(delta4 > 0.0, "requires delta4 > 0");
+  const double pmn = params.p() * params.honest_trials();
+  NEATBOUND_EXPECTS(pmn < 1.0, "requires p*mu*n < 1");
+  Lemma3Sides sides;
+  sides.delta1 = delta1_from_delta4(params.nu(), eps1, delta4);
+  const double two_delta = 2.0 * params.delta();
+  sides.lhs =
+      std::exp((std::log1p(sides.delta1) - std::log1p(-pmn)) / two_delta);
+  sides.rhs = 1.0 + delta4 / two_delta;
+  return sides;
+}
+
+bool lemma3_condition_71(const ProtocolParams& params, double delta4) {
+  NEATBOUND_EXPECTS(delta4 > 0.0, "requires delta4 > 0");
+  const double two_delta = 2.0 * params.delta();
+  const double log_rhs = std::log1p(delta4 / two_delta) +
+                         std::log(params.nu() / params.mu()) / two_delta;
+  return params.alpha_bar().log() >= log_rhs;
+}
+
+double lemma4_c_threshold(const ProtocolParams& params, double delta4) {
+  const double lg = params.log_mu_over_nu();
+  NEATBOUND_EXPECTS(delta4 > 0.0 && delta4 < lg,
+                    "Lemma 4 requires 0 < delta4 < ln(mu/nu) (condition 73)");
+  const double two_delta = 2.0 * params.delta();
+  // ln[(1+δ₄/(2Δ))(ν/μ)^{1/(2Δ)}] — negative by Proposition 2.
+  const double log_inner = std::log1p(delta4 / two_delta) - lg / two_delta;
+  NEATBOUND_ENSURES(log_inner < 0.0, "Proposition 2 violated");
+  // Denominator 1 − inner^{1/(μn)} = −expm1(log_inner/(μn)).
+  const double denom = -std::expm1(log_inner / params.honest_trials());
+  return 1.0 / (params.n() * params.delta() * denom);
+}
+
+double proposition2_value(double nu, double delta, double delta4) {
+  NEATBOUND_EXPECTS(nu > 0.0 && nu < 0.5, "requires nu in (0,1/2)");
+  const double lg = std::log((1.0 - nu) / nu);
+  NEATBOUND_EXPECTS(delta4 > 0.0 && delta4 < lg,
+                    "Proposition 2 requires 0 < delta4 < ln(mu/nu)");
+  const double two_delta = 2.0 * delta;
+  return -std::expm1(std::log1p(delta4 / two_delta) - lg / two_delta);
+}
+
+Lemma5Sides lemma5_sides(const ProtocolParams& params, double delta4) {
+  const double a =
+      proposition2_value(params.nu(), params.delta(), delta4);
+  Lemma5Sides sides;
+  sides.lhs = params.mu() / (params.delta() * a);
+  sides.rhs = lemma4_c_threshold(params, delta4);
+  return sides;
+}
+
+Lemma6Sides lemma6_sides(double nu, double delta, double delta4) {
+  NEATBOUND_EXPECTS(nu > 0.0 && nu < 0.5, "requires nu in (0,1/2)");
+  const double lg = std::log((1.0 - nu) / nu);
+  NEATBOUND_EXPECTS(delta4 > 0.0 && delta4 < lg,
+                    "Lemma 6 requires 0 < delta4 < ln(mu/nu)");
+  const double two_delta = 2.0 * delta;
+  Lemma6Sides sides;
+  const double one_minus_root = -std::expm1(-lg / two_delta);
+  sides.lhs = (1.0 + delta4 / (lg - delta4)) / one_minus_root;
+  const double one_minus_scaled =
+      -std::expm1(std::log1p(delta4 / two_delta) - lg / two_delta);
+  sides.rhs = 1.0 / one_minus_scaled;
+  return sides;
+}
+
+Lemma8Sides lemma8_sides(double nu, double eps1, double eps2) {
+  NEATBOUND_EXPECTS(eps1 > 0.0 && eps1 < 1.0, "requires eps1 in (0,1)");
+  NEATBOUND_EXPECTS(eps2 > 0.0, "requires eps2 > 0");
+  const double lg = std::log((1.0 - nu) / nu);
+  const double delta4 = delta4_from_epsilons(nu, eps1, eps2);
+  Lemma8Sides sides;
+  sides.lhs = 1.0 + delta4 / (lg - delta4);
+  sides.rhs = (1.0 + eps2) / (1.0 - eps1);
+  return sides;
+}
+
+}  // namespace neatbound::bounds

@@ -1,0 +1,90 @@
+// The paper's proof of Theorem 3 proceeds through a chain of implications
+// (52)–(59) justified by Lemmas 2–8 (Appendices B–I).  This header exposes
+// each lemma's inequality as a numeric predicate/value pair so that the
+// test suite can verify the whole chain mechanically across parameter
+// sweeps — i.e. the algebra of the paper is checked by machine, not taken
+// on faith.
+//
+// Notation note: the bare α in the paper's (53)(54)(66)(71) denotes ᾱ =
+// (1−p)^{μn} (the overline is lost in the text rendering); the proofs in
+// Appendices B and D make this explicit.
+#pragma once
+
+#include "bounds/params.hpp"
+
+namespace neatbound::bounds {
+
+/// Lemma 2's engine, Eq. (100): under 0 < pμn < 1 (and μn ≥ 2),
+///   α₁ = pμn(1−p)^{μn−1} ≥ pμn(1 − pμn).
+struct Lemma2Sides {
+  double alpha1;       ///< pμn(1−p)^{μn−1}
+  double lower_bound;  ///< pμn(1 − pμn)
+  /// At paper scale the two sides agree to ~10⁻²⁸ relative difference,
+  /// below double rounding; compare with an epsilon for that reason.
+  [[nodiscard]] bool holds() const noexcept {
+    return alpha1 >= lower_bound * (1.0 - 1e-12);
+  }
+};
+[[nodiscard]] Lemma2Sides lemma2_sides(const ProtocolParams& params);
+
+/// Lemma 2, statement: Inequality (66) implies Inequality (10).
+///   (66): ᾱ ≥ ((1+δ₁)/(1−pμn) · ν/μ)^{1/(2Δ)}
+[[nodiscard]] bool lemma2_condition_66(const ProtocolParams& params,
+                                       double delta1);
+
+/// Lemma 3, Eq. (70): ((1+δ₁)/(1−pμn))^{1/(2Δ)} ≤ 1 + δ₄/(2Δ),
+/// where δ₁ is derived from δ₄ via Eq. (61)/(69).
+struct Lemma3Sides {
+  double lhs;  ///< ((1+δ₁)/(1−pμn))^{1/(2Δ)}
+  double rhs;  ///< 1 + δ₄/(2Δ)
+  double delta1;
+  [[nodiscard]] bool holds() const noexcept { return lhs <= rhs; }
+};
+[[nodiscard]] Lemma3Sides lemma3_sides(const ProtocolParams& params,
+                                       double eps1, double delta4);
+
+/// Lemma 3's antecedent, Inequality (71):
+///   ᾱ ≥ (1 + δ₄/(2Δ))·(ν/μ)^{1/(2Δ)}.
+[[nodiscard]] bool lemma3_condition_71(const ProtocolParams& params,
+                                       double delta4);
+
+/// Lemma 4, Inequality (74): the c threshold whose satisfaction implies
+/// (71).  Returns the RHS of (74).
+[[nodiscard]] double lemma4_c_threshold(const ProtocolParams& params,
+                                        double delta4);
+
+/// Proposition 2: 1 − (1+δ₄/(2Δ))(ν/μ)^{1/(2Δ)} > 0 for 0 < δ₄ < ln(μ/ν).
+[[nodiscard]] double proposition2_value(double nu, double delta,
+                                        double delta4);
+
+/// Lemma 5, Inequality (76): RHS ≤ LHS where
+///   LHS = μ/(Δ·A)  and  RHS = 1/(nΔ·(1−(1−A)^{1/(μn)})),
+///   A = 1 − (1+δ₄/(2Δ))(ν/μ)^{1/(2Δ)}.
+struct Lemma5Sides {
+  double lhs;  ///< μ/(Δ·A) — the (77) threshold
+  double rhs;  ///< the (74) threshold
+  [[nodiscard]] bool holds() const noexcept { return lhs >= rhs; }
+};
+[[nodiscard]] Lemma5Sides lemma5_sides(const ProtocolParams& params,
+                                       double delta4);
+
+/// Lemma 6, Inequality (79):
+///   1/(1−(ν/μ)^{1/(2Δ)}) · (1 + δ₄/(ln(μ/ν)−δ₄))
+///     > 1/(1−(1+δ₄/(2Δ))(ν/μ)^{1/(2Δ)}).
+struct Lemma6Sides {
+  double lhs;
+  double rhs;
+  [[nodiscard]] bool holds() const noexcept { return lhs > rhs; }
+};
+[[nodiscard]] Lemma6Sides lemma6_sides(double nu, double delta, double delta4);
+
+/// Lemma 8, Inequality (85): with δ₄ from Eq. (60),
+///   1 + δ₄/(ln(μ/ν)−δ₄) < (1+ε₂)/(1−ε₁).
+struct Lemma8Sides {
+  double lhs;
+  double rhs;
+  [[nodiscard]] bool holds() const noexcept { return lhs < rhs; }
+};
+[[nodiscard]] Lemma8Sides lemma8_sides(double nu, double eps1, double eps2);
+
+}  // namespace neatbound::bounds

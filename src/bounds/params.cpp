@@ -1,0 +1,41 @@
+#include "bounds/params.hpp"
+
+#include <cmath>
+
+#include "stats/distributions.hpp"
+#include "support/contracts.hpp"
+
+namespace neatbound::bounds {
+
+ProtocolParams::ProtocolParams(double n, double p, double delta, double nu)
+    : n_(n), p_(p), delta_(delta), nu_(nu) {
+  NEATBOUND_EXPECTS(n >= 4.0, "the paper's condition (3): n >= 4");
+  NEATBOUND_EXPECTS(p > 0.0 && p < 1.0, "p must be in (0,1)");
+  NEATBOUND_EXPECTS(delta >= 1.0, "delta must be >= 1");
+  NEATBOUND_EXPECTS(nu > 0.0 && nu < 0.5,
+                    "the paper's condition (2): 0 < nu < 1/2");
+}
+
+ProtocolParams ProtocolParams::from_c(double n, double delta, double nu,
+                                      double c) {
+  NEATBOUND_EXPECTS(c > 0.0, "c must be positive");
+  return ProtocolParams(n, 1.0 / (c * n * delta), delta, nu);
+}
+
+LogProb ProtocolParams::alpha() const {
+  return stats::Binomial(honest_trials(), p_).prob_positive();
+}
+
+LogProb ProtocolParams::alpha_bar() const {
+  return stats::Binomial(honest_trials(), p_).prob_zero();
+}
+
+LogProb ProtocolParams::alpha1() const {
+  return stats::Binomial(honest_trials(), p_).prob_one();
+}
+
+double ProtocolParams::log_mu_over_nu() const noexcept {
+  return std::log(mu() / nu_);
+}
+
+}  // namespace neatbound::bounds

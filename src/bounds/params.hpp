@@ -1,0 +1,60 @@
+// Protocol parameters (Table I) and their derived per-round quantities.
+#pragma once
+
+#include <cstdint>
+
+#include "support/logprob.hpp"
+
+namespace neatbound::bounds {
+
+/// The (n, p, Δ, ν) parameter tuple of the Δ-delay model, with the paper's
+/// standing assumptions enforced:
+///   (1) μ + ν = 1       (μ is stored implicitly)
+///   (2) 0 < ν < ½ < μ
+///   (3) n ≥ 4
+/// plus p ∈ (0,1) and Δ ≥ 1.
+///
+/// n and Δ are real-valued: the paper freely treats μn, νn and 1/(pnΔ) as
+/// reals, and Figure 1 uses Δ = 10¹³ where integral arithmetic would
+/// overflow intermediate expressions anyway.
+class ProtocolParams {
+ public:
+  ProtocolParams(double n, double p, double delta, double nu);
+
+  /// Alternative construction from c = 1/(pnΔ): sets p = 1/(c·n·Δ).
+  static ProtocolParams from_c(double n, double delta, double nu, double c);
+
+  [[nodiscard]] double n() const noexcept { return n_; }
+  [[nodiscard]] double p() const noexcept { return p_; }
+  [[nodiscard]] double delta() const noexcept { return delta_; }
+  [[nodiscard]] double nu() const noexcept { return nu_; }
+  [[nodiscard]] double mu() const noexcept { return 1.0 - nu_; }
+
+  /// c := 1/(pnΔ) — expected Δ-delays before some block is mined.
+  [[nodiscard]] double c() const noexcept { return 1.0 / (p_ * n_ * delta_); }
+
+  /// Honest / adversarial per-round trial counts μn, νn.
+  [[nodiscard]] double honest_trials() const noexcept { return mu() * n_; }
+  [[nodiscard]] double adversary_trials() const noexcept { return nu_ * n_; }
+
+  /// α = 1 − (1−p)^{μn}  — P[some honest block this round]   (Eq. 7).
+  [[nodiscard]] LogProb alpha() const;
+  /// ᾱ = (1−p)^{μn}      — P[no honest block this round]      (Eq. 8).
+  [[nodiscard]] LogProb alpha_bar() const;
+  /// α₁ = pμn(1−p)^{μn−1} — P[exactly one honest block]       (Eq. 9).
+  [[nodiscard]] LogProb alpha1() const;
+
+  /// Expected adversary blocks per round: pνn (mean of Binomial(νn, p)).
+  [[nodiscard]] double adversary_rate() const noexcept { return p_ * nu_ * n_; }
+
+  /// ln(μ/ν) — the denominator of the neat bound.
+  [[nodiscard]] double log_mu_over_nu() const noexcept;
+
+ private:
+  double n_;
+  double p_;
+  double delta_;
+  double nu_;
+};
+
+}  // namespace neatbound::bounds

@@ -1,0 +1,45 @@
+#include "bounds/pss.hpp"
+
+#include <cmath>
+
+#include "support/contracts.hpp"
+
+namespace neatbound::bounds {
+
+PssSides pss_sides(const ProtocolParams& params) {
+  PssSides sides;
+  const double alpha = params.alpha().linear();
+  sides.lhs = alpha * (1.0 - (2.0 * params.delta() + 2.0) * alpha);
+  sides.rhs = params.adversary_rate();
+  return sides;
+}
+
+bool pss_consistency_exact(const ProtocolParams& params) {
+  const PssSides sides = pss_sides(params);
+  return sides.lhs > sides.rhs;
+}
+
+double pss_consistency_nu_max(double c) {
+  NEATBOUND_EXPECTS(c > 0.0, "c must be positive");
+  if (c <= 2.0) return 0.0;
+  return (2.0 - c + std::sqrt(c * c - 2.0 * c)) / 2.0;
+}
+
+double pss_consistency_c_min(double nu) {
+  NEATBOUND_EXPECTS(nu > 0.0 && nu < 0.5, "requires nu in (0, 1/2)");
+  const double mu = 1.0 - nu;
+  return 2.0 * mu * mu / (1.0 - 2.0 * nu);
+}
+
+double pss_attack_nu_threshold(double c) {
+  NEATBOUND_EXPECTS(c > 0.0, "c must be positive");
+  return (2.0 * c + 1.0 - std::sqrt(4.0 * c * c + 1.0)) / 2.0;
+}
+
+bool pss_attack_applies(double nu, double c) {
+  NEATBOUND_EXPECTS(nu > 0.0 && nu < 1.0, "requires nu in (0,1)");
+  NEATBOUND_EXPECTS(c > 0.0, "c must be positive");
+  return 1.0 / c > 1.0 / nu - 1.0 / (1.0 - nu);
+}
+
+}  // namespace neatbound::bounds

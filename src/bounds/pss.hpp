@@ -1,0 +1,44 @@
+// Pass–Seeman–Shelat (Eurocrypt 2017) comparison bounds, as used by the
+// paper's Figure 1.
+//
+// * Consistency (exact, [3]): α·(1 − (2Δ+2)·α) > β,
+//     with α = 1 − (1−p)^{μn} and β = νnp.
+// * Consistency (closed form used for Fig. 1's blue line): the paper's
+//     §I derivation c > 2(1−ν)²/(1−2ν), i.e. ν < (2 − c + √(c²−2c))/2,
+//     valid for c > 2.
+// * Attack (Remark 8.5 of [3], Fig. 1's red line): consistency breaks when
+//     1/c > 1/ν − 1/(1−ν), i.e. ν > (2c+1 − √(4c²+1))/2.
+#pragma once
+
+#include "bounds/params.hpp"
+
+namespace neatbound::bounds {
+
+/// Exact PSS consistency condition α(1 − (2Δ+2)α) > β.
+/// Evaluated in linear space: α is tiny at paper scale but well above the
+/// double underflow threshold once multiplied out (α ≈ μ/(cΔ)).
+[[nodiscard]] bool pss_consistency_exact(const ProtocolParams& params);
+
+/// The two sides of the exact condition, for margin diagnostics.
+struct PssSides {
+  double lhs = 0.0;  ///< α(1 − (2Δ+2)α)
+  double rhs = 0.0;  ///< β = νnp
+};
+[[nodiscard]] PssSides pss_sides(const ProtocolParams& params);
+
+/// Closed-form blue-line frontier: largest ν tolerated at a given c,
+///   ν_max = (2 − c + √(c²−2c))/2 for c > 2; 0 for c ≤ 2 (no tolerance).
+[[nodiscard]] double pss_consistency_nu_max(double c);
+
+/// Closed-form threshold in the other direction: smallest c that tolerates
+/// a given ν, c_min = 2(1−ν)²/(1−2ν).
+[[nodiscard]] double pss_consistency_c_min(double nu);
+
+/// Red-line attack frontier: the attack of [3, Remark 8.5] succeeds when
+/// ν exceeds ν_att = (2c+1 − √(4c²+1))/2.
+[[nodiscard]] double pss_attack_nu_threshold(double c);
+
+/// The raw attack condition 1/c > 1/ν − 1/(1−ν).
+[[nodiscard]] bool pss_attack_applies(double nu, double c);
+
+}  // namespace neatbound::bounds

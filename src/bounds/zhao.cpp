@@ -1,0 +1,158 @@
+#include "bounds/zhao.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "support/contracts.hpp"
+#include "support/math.hpp"
+
+namespace neatbound::bounds {
+
+Theorem1Sides theorem1_sides(const ProtocolParams& params) {
+  const LogProb abar = params.alpha_bar();
+  const LogProb a1 = params.alpha1();
+  Theorem1Sides sides;
+  sides.convergence_rate = abar.pow(2.0 * params.delta()) * a1;
+  sides.adversary_rate = LogProb::from_linear(params.adversary_rate());
+  return sides;
+}
+
+bool theorem1_holds(const ProtocolParams& params, double delta1) {
+  NEATBOUND_EXPECTS(delta1 > 0.0, "Theorem 1 requires delta1 > 0");
+  const Theorem1Sides sides = theorem1_sides(params);
+  return sides.convergence_rate >=
+         LogProb::from_linear(1.0 + delta1) * sides.adversary_rate;
+}
+
+LogProb theorem1_margin(const ProtocolParams& params) {
+  const Theorem1Sides sides = theorem1_sides(params);
+  return sides.convergence_rate / sides.adversary_rate;
+}
+
+double theorem1_c_min(double nu, double n, double delta, double delta1) {
+  NEATBOUND_EXPECTS(delta1 > 0.0, "requires delta1 > 0");
+  const auto fails = [&](double c) {
+    return !theorem1_holds(ProtocolParams::from_c(n, delta, nu, c), delta1);
+  };
+  constexpr double kCFloor = 1e-6;
+  constexpr double kCCeil = 1e9;
+  if (!fails(kCFloor)) return kCFloor;
+  if (fails(kCCeil)) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return bisect_last_true_log(fails, kCFloor, kCCeil).value;
+}
+
+bool theorem3_pn_condition(const ProtocolParams& params, double eps1) {
+  NEATBOUND_EXPECTS(eps1 > 0.0 && eps1 < 1.0, "requires eps1 in (0,1)");
+  const double lg = params.log_mu_over_nu();
+  const double rhs = eps1 * lg / ((lg + 1.0) * params.mu());
+  return params.p() * params.n() <= rhs;
+}
+
+bool theorem3_c_condition(const ProtocolParams& params, double eps1,
+                          double eps2) {
+  NEATBOUND_EXPECTS(eps1 > 0.0 && eps1 < 1.0, "requires eps1 in (0,1)");
+  NEATBOUND_EXPECTS(eps2 > 0.0, "requires eps2 > 0");
+  const double lg = params.log_mu_over_nu();
+  const double rhs = (2.0 * params.mu() / lg + 1.0 / params.delta()) *
+                     (1.0 + eps2) / (1.0 - eps1);
+  return params.c() >= rhs;
+}
+
+bool theorem2_holds(const ProtocolParams& params, double eps1, double eps2) {
+  // Inequality (11) is exactly the conjunction of (50) and (51); note that
+  // the second max-term of (11) equals the (50) condition rewritten in c:
+  //   pn ≤ ε₁·lg/((lg+1)μ)  ⇔  c = 1/(pnΔ) ≥ (lg+1)μ/(ε₁·Δ·lg).
+  return theorem3_pn_condition(params, eps1) &&
+         theorem3_c_condition(params, eps1, eps2);
+}
+
+double theorem2_c_infimum(double nu, double delta) {
+  NEATBOUND_EXPECTS(nu > 0.0 && nu < 0.5, "requires nu in (0, 1/2)");
+  NEATBOUND_EXPECTS(delta >= 1.0, "requires delta >= 1");
+  const double mu = 1.0 - nu;
+  const double lg = std::log(mu / nu);
+  // With ε₂ → 0⁺, the RHS of (11) is max{A/(1−ε₁), B/ε₁} where
+  //   A = 2μ/lg + 1/Δ  and  B = (lg+1)·μ/(Δ·lg).
+  // A/(1−ε₁) increases and B/ε₁ decreases in ε₁, so the infimum over ε₁ is
+  // at the crossing ε₁* = B/(A+B), giving value A + B.
+  const double a = 2.0 * mu / lg + 1.0 / delta;
+  const double b = (lg + 1.0) * mu / (delta * lg);
+  return a + b;
+}
+
+double neat_bound_c(double nu) {
+  NEATBOUND_EXPECTS(nu > 0.0 && nu < 0.5, "requires nu in (0, 1/2)");
+  const double mu = 1.0 - nu;
+  return 2.0 * mu / std::log(mu / nu);
+}
+
+double delta4_from_epsilons(double nu, double eps1, double eps2) {
+  NEATBOUND_EXPECTS(nu > 0.0 && nu < 0.5, "requires nu in (0, 1/2)");
+  NEATBOUND_EXPECTS(eps1 > 0.0 && eps1 < 1.0, "requires eps1 in (0,1)");
+  NEATBOUND_EXPECTS(eps2 > 0.0, "requires eps2 > 0");
+  const double lg = std::log((1.0 - nu) / nu);
+  return (eps1 + eps2) * lg / (eps1 + eps2 + (1.0 - eps1) * (lg + 1.0));
+}
+
+double delta1_from_delta4(double nu, double eps1, double delta4) {
+  NEATBOUND_EXPECTS(nu > 0.0 && nu < 0.5, "requires nu in (0, 1/2)");
+  NEATBOUND_EXPECTS(eps1 > 0.0 && eps1 < 1.0, "requires eps1 in (0,1)");
+  NEATBOUND_EXPECTS(delta4 > 0.0, "requires delta4 > 0");
+  const double lg = std::log((1.0 - nu) / nu);
+  return (1.0 + delta4) * (1.0 - eps1 * lg / (lg + 1.0)) - 1.0;
+}
+
+Lemma7Sandwich lemma7_sandwich(double nu, double delta) {
+  NEATBOUND_EXPECTS(nu > 0.0 && nu < 0.5, "requires nu in (0, 1/2)");
+  NEATBOUND_EXPECTS(delta >= 1.0, "requires delta >= 1");
+  const double mu = 1.0 - nu;
+  const double lg = std::log(mu / nu);
+  Lemma7Sandwich s;
+  s.lower = 2.0 / lg;
+  // 1 − (ν/μ)^{1/(2Δ)} = 1 − e^{−lg/(2Δ)} = −expm1(−lg/(2Δ)), stable even
+  // when lg/(2Δ) ~ 10⁻¹⁴ (paper-scale Δ).
+  const double one_minus_root = -std::expm1(-lg / (2.0 * delta));
+  s.middle = 1.0 / (delta * one_minus_root);
+  s.upper = 2.0 / lg + 1.0 / delta;
+  return s;
+}
+
+Remark1Window remark1_window(double delta, double d1, double d2) {
+  NEATBOUND_EXPECTS(delta > 1.0, "remark 1 requires delta > 1");
+  NEATBOUND_EXPECTS(d1 > 0.0 && d2 > 0.0 && d1 + d2 < 1.0,
+                    "requires delta1, delta2 > 0 with delta1 + delta2 < 1");
+  Remark1Window w;
+  // ν_lo = 1/(1+e^{x}) with x = Δ^{δ₁} large: equals σ(−x) = e^{−x}/(1+e^{−x}).
+  const double x = std::pow(delta, d1);
+  const double emx = std::exp(-x);
+  w.nu_lo = emx / (1.0 + emx);
+  // ln ν_lo = −(x + ln(1+e^{−x})) — finite even when ν_lo underflows.
+  w.log10_nu_lo = -(x + std::log1p(emx)) / std::log(10.0);
+  // ν_hi = 1/(1+e^{y}) with y = 1/(Δ^{δ₂} − 1) tiny:
+  //   ½ − ν_hi = ½·(e^{y}−1)/(e^{y}+1) = ½·tanh(y/2), stable via tanh.
+  const double y = 1.0 / (std::pow(delta, d2) - 1.0);
+  w.half_minus_hi = 0.5 * std::tanh(y / 2.0);
+  w.nu_hi = 0.5 - w.half_minus_hi;
+  // Factor of Inequality (13): (1+Δ^{δ₁−1})/(1−Δ^{δ₁+δ₂−1}).
+  const double t1 = std::pow(delta, d1 - 1.0);
+  const double t2 = std::pow(delta, d1 + d2 - 1.0);
+  NEATBOUND_ENSURES(t2 < 1.0, "delta^{d1+d2-1} must be < 1");
+  w.factor = (1.0 + t1) / (1.0 - t2);
+  // factor − 1 = (t1 + t2)/(1 − t2), computed directly to keep precision
+  // when both terms are ~1e-11.
+  w.factor_minus_one = (t1 + t2) / (1.0 - t2);
+  return w;
+}
+
+double remark1_c_threshold(double nu, double delta, double d1, double d2,
+                           double eps2) {
+  NEATBOUND_EXPECTS(eps2 >= 0.0, "requires eps2 >= 0");
+  const Remark1Window w = remark1_window(delta, d1, d2);
+  NEATBOUND_EXPECTS(nu >= w.nu_lo && nu <= w.nu_hi,
+                    "nu outside the Remark 1 window for these exponents");
+  return neat_bound_c(nu) * (1.0 + eps2) * w.factor;
+}
+
+}  // namespace neatbound::bounds

@@ -1,0 +1,111 @@
+// The paper's consistency results: Theorem 1, Theorem 3, Theorem 2 and
+// Remark 1, plus the derived constants δ₄ (Eq. 60) and δ₁ (Eq. 61) and
+// the Lemma 7 sandwich used in the Theorem-2 proof.
+#pragma once
+
+#include "bounds/params.hpp"
+#include "support/logprob.hpp"
+
+namespace neatbound::bounds {
+
+// ---------------------------------------------------------------------------
+// Theorem 1 — the exact Markov-chain condition.
+// ---------------------------------------------------------------------------
+
+/// The two sides of Inequality (10): ᾱ^{2Δ}·α₁  vs  p·ν·n.
+struct Theorem1Sides {
+  LogProb convergence_rate;  ///< ᾱ^{2Δ}·α₁ — per-round convergence-opportunity prob.
+  LogProb adversary_rate;    ///< pνn — expected adversary blocks per round
+};
+
+[[nodiscard]] Theorem1Sides theorem1_sides(const ProtocolParams& params);
+
+/// Inequality (10) with explicit δ₁: ᾱ^{2Δ}α₁ ≥ (1+δ₁)·pνn.
+[[nodiscard]] bool theorem1_holds(const ProtocolParams& params, double delta1);
+
+/// Margin ᾱ^{2Δ}α₁ / (pνn); Theorem 1 applies iff margin > 1 (then any
+/// δ₁ ∈ (0, margin−1] witnesses it).
+[[nodiscard]] LogProb theorem1_margin(const ProtocolParams& params);
+
+/// Smallest c for which condition (10) holds with the given δ₁ at (n, Δ,
+/// ν), found by bisection (the margin is monotone in c in the admissible
+/// regime).  With δ₁ → 0 this is the exact Theorem-1 frontier; larger δ₁
+/// buys concentration speed (via Eq. 23) at the price of a larger c.
+[[nodiscard]] double theorem1_c_min(double nu, double n, double delta,
+                                    double delta1);
+
+// ---------------------------------------------------------------------------
+// Theorem 3 / Theorem 2 — the explicit c conditions.
+// ---------------------------------------------------------------------------
+
+/// Inequality (50): pn ≤ ε₁·ln(μ/ν) / ((ln(μ/ν)+1)·μ).
+[[nodiscard]] bool theorem3_pn_condition(const ProtocolParams& params,
+                                         double eps1);
+
+/// Inequality (51): c ≥ (2μ/ln(μ/ν) + 1/Δ)·(1+ε₂)/(1−ε₁).
+[[nodiscard]] bool theorem3_c_condition(const ProtocolParams& params,
+                                        double eps1, double eps2);
+
+/// Theorem 2, Inequality (11): c ≥ max{ (2μ/ln(μ/ν)+1/Δ)(1+ε₂)/(1−ε₁),
+///                                      (ln(μ/ν)+1)μ/(ε₁Δln(μ/ν)) }.
+[[nodiscard]] bool theorem2_holds(const ProtocolParams& params, double eps1,
+                                  double eps2);
+
+/// The infimum over admissible (ε₁, ε₂) of the RHS of (11):
+/// with ε₂ → 0⁺ and ε₁ chosen to equalize the two max-terms,
+///   c_inf(ν, Δ) = 2μ/ln(μ/ν) + 1/Δ + (ln(μ/ν)+1)·μ/(Δ·ln(μ/ν)).
+/// Consistency is guaranteed by Theorem 2 for any c strictly above this.
+[[nodiscard]] double theorem2_c_infimum(double nu, double delta);
+
+/// The neat asymptote 2μ/ln(μ/ν) — what the paper's headline reports.
+[[nodiscard]] double neat_bound_c(double nu);
+
+// ---------------------------------------------------------------------------
+// Constants δ₄, δ₁ used to pass from Theorem 1 to Theorem 3.
+// ---------------------------------------------------------------------------
+
+/// Eq. (60): δ₄ = (ε₁+ε₂)·ln(μ/ν) / (ε₁+ε₂+(1−ε₁)(ln(μ/ν)+1)).
+[[nodiscard]] double delta4_from_epsilons(double nu, double eps1, double eps2);
+
+/// Eq. (61): δ₁ = (1+δ₄)·(1 − ε₁·ln(μ/ν)/(ln(μ/ν)+1)) − 1.
+[[nodiscard]] double delta1_from_delta4(double nu, double eps1, double delta4);
+
+// ---------------------------------------------------------------------------
+// Lemma 7 — the sandwich that turns the Δ-th-root expression into the neat
+// bound:  2/ln(μ/ν) ≤ 1/(Δ·(1−(ν/μ)^{1/(2Δ)})) ≤ 2/ln(μ/ν) + 1/Δ.  (82)
+// ---------------------------------------------------------------------------
+
+struct Lemma7Sandwich {
+  double lower;   ///< 2/ln(μ/ν)
+  double middle;  ///< 1/(Δ·(1−(ν/μ)^{1/(2Δ)}))
+  double upper;   ///< 2/ln(μ/ν) + 1/Δ
+  [[nodiscard]] bool holds() const noexcept {
+    return lower <= middle && middle <= upper;
+  }
+};
+
+[[nodiscard]] Lemma7Sandwich lemma7_sandwich(double nu, double delta);
+
+// ---------------------------------------------------------------------------
+// Remark 1 — the explicit ν-windows for Δ = 10¹³ (Inequalities 12–17).
+// ---------------------------------------------------------------------------
+
+struct Remark1Window {
+  double nu_lo = 0.0;      ///< 1/(1+exp(Δ^{δ₁}))          (Ineq. 12, lower)
+  double log10_nu_lo = 0.0;  ///< log₁₀(ν_lo), stable even when ν_lo underflows
+  double nu_hi = 0.0;      ///< 1/(1+exp(1/(Δ^{δ₂}−1)))    (Ineq. 12, upper)
+  double half_minus_hi = 0.0;  ///< ½ − ν_hi (the paper reports 10⁻⁷, 10⁻⁹)
+  double factor = 0.0;     ///< (1+Δ^{δ₁−1})/(1−Δ^{δ₁+δ₂−1}) (Ineq. 13)
+  double factor_minus_one = 0.0;  ///< factor − 1 (paper reports 5·10⁻⁵, 2·10⁻³)
+};
+
+/// Computes the window for given Δ and exponents (δ₁, δ₂) with δ₁+δ₂ < 1.
+/// Uses expm1/log-space forms so ν_lo ~ 10⁻⁶³ and ½−ν_hi ~ 10⁻⁷ are exact.
+[[nodiscard]] Remark1Window remark1_window(double delta, double d1, double d2);
+
+/// Inequality (13): the c threshold over the window,
+///   c ≥ 2μ/ln(μ/ν) · (1+ε₂) · (1+Δ^{δ₁−1})/(1−Δ^{δ₁+δ₂−1}).
+[[nodiscard]] double remark1_c_threshold(double nu, double delta, double d1,
+                                         double d2, double eps2);
+
+}  // namespace neatbound::bounds

@@ -1,0 +1,117 @@
+#include "chains/concatenated_chain.hpp"
+
+#include <cmath>
+
+#include "chains/suffix_chain.hpp"
+
+namespace neatbound::chains {
+
+namespace {
+std::size_t ipow(std::size_t base, std::uint64_t exp) {
+  std::size_t out = 1;
+  for (std::uint64_t i = 0; i < exp; ++i) out *= base;
+  return out;
+}
+}  // namespace
+
+ConcatenatedStateSpace::ConcatenatedStateSpace(std::uint64_t delta,
+                                               std::uint32_t honest_trials)
+    : delta_(delta), m_(honest_trials) {
+  NEATBOUND_EXPECTS(delta >= 1, "delta must be >= 1");
+  NEATBOUND_EXPECTS(honest_trials >= 1, "need at least one honest miner");
+  suffix_count_ = 2 * delta_ + 1;
+  window_count_ = ipow(symbol_count(), delta_ + 1);
+  size_ = suffix_count_ * window_count_;
+  NEATBOUND_EXPECTS(size_ <= (1ULL << 22),
+                    "explicit C_{F||P} limited to 2^22 states; reduce delta "
+                    "or honest_trials");
+}
+
+std::size_t ConcatenatedStateSpace::index_of(
+    const SuffixState& f, const std::vector<std::uint32_t>& window) const {
+  NEATBOUND_EXPECTS(window.size() == delta_ + 1,
+                    "window must contain delta+1 detailed states");
+  const SuffixStateSpace suffix_space(delta_);
+  std::size_t window_index = 0;
+  for (const std::uint32_t s : window) {
+    NEATBOUND_EXPECTS(s <= m_, "detailed state symbol out of range");
+    window_index = window_index * symbol_count() + s;
+  }
+  return suffix_space.index_of(f) * window_count_ + window_index;
+}
+
+void ConcatenatedStateSpace::decode(std::size_t index, SuffixState& f,
+                                    std::vector<std::uint32_t>& window) const {
+  NEATBOUND_EXPECTS(index < size_, "state index out of range");
+  const SuffixStateSpace suffix_space(delta_);
+  f = suffix_space.state_at(index / window_count_);
+  std::size_t window_index = index % window_count_;
+  window.assign(delta_ + 1, 0);
+  for (std::size_t i = delta_ + 1; i-- > 0;) {
+    window[i] = static_cast<std::uint32_t>(window_index % symbol_count());
+    window_index /= symbol_count();
+  }
+}
+
+std::size_t ConcatenatedStateSpace::convergence_vertex() const {
+  std::vector<std::uint32_t> window(delta_ + 1, 0);
+  window[0] = 1;  // H₁ followed by Δ times N
+  return index_of({SuffixKind::kLongGap, 0}, window);
+}
+
+markov::TransitionMatrix build_concatenated_matrix(
+    const ConcatenatedStateSpace& space, const DetailedStateModel& model) {
+  const SuffixStateSpace suffix_space(space.delta());
+  markov::TransitionMatrix matrix(space.size());
+
+  // Per-symbol probabilities from Eq. (41).
+  std::vector<double> symbol_prob(space.symbol_count());
+  symbol_prob[0] = model.prob_n().linear();
+  for (std::uint32_t h = 1; h <= space.honest_trials(); ++h) {
+    symbol_prob[h] = model.prob_h(h).linear();
+  }
+
+  SuffixState f;
+  std::vector<std::uint32_t> window;
+  std::vector<std::uint32_t> next_window(space.delta() + 1);
+  for (std::size_t from = 0; from < space.size(); ++from) {
+    space.decode(from, f, window);
+    // The oldest window symbol s¹ folds into the suffix; its coarse state
+    // is H iff s¹ ≥ 1.
+    const SuffixState next_f =
+        suffix_space.transition(f, /*next_is_h=*/window[0] >= 1);
+    for (std::size_t i = 0; i + 1 < window.size(); ++i) {
+      next_window[i] = window[i + 1];
+    }
+    for (std::uint32_t s = 0; s < space.symbol_count(); ++s) {
+      next_window[space.delta()] = s;
+      matrix.add(from, space.index_of(next_f, next_window), symbol_prob[s]);
+    }
+  }
+  matrix.check_stochastic(1e-9);
+  return matrix;
+}
+
+std::vector<double> concatenated_stationary_product_form(
+    const ConcatenatedStateSpace& space, const DetailedStateModel& model) {
+  const LogProb alpha_bar = model.prob_n();
+  std::vector<double> symbol_prob(space.symbol_count());
+  symbol_prob[0] = alpha_bar.linear();
+  for (std::uint32_t h = 1; h <= space.honest_trials(); ++h) {
+    symbol_prob[h] = model.prob_h(h).linear();
+  }
+
+  std::vector<double> pi(space.size());
+  SuffixState f;
+  std::vector<std::uint32_t> window;
+  for (std::size_t i = 0; i < space.size(); ++i) {
+    space.decode(i, f, window);
+    double mass =
+        stationary_closed_form(f, space.delta(), alpha_bar).linear();
+    for (const std::uint32_t s : window) mass *= symbol_prob[s];
+    pi[i] = mass;
+  }
+  return pi;
+}
+
+}  // namespace neatbound::chains

@@ -1,0 +1,72 @@
+// The concatenated chain C_{F‖P} (Section V-A, Eq. 39–40, Appendix J),
+// materialized explicitly for small parameters.
+//
+// A vertex is the tuple (F_{t−Δ−1}, S_{t−Δ}, …, S_t): the suffix state of
+// everything before the last Δ+1 rounds, followed by the detailed states
+// of those rounds.  The detailed state of a round is N (no honest block)
+// or H_h (exactly h honest blocks, 1 ≤ h ≤ μn) — Eq. (38).
+//
+// The paper proves (Eq. 40, Appendix J) that the stationary law is the
+// product π_F(f)·Π P[s⁽ⁱ⁾], and that the convergence-opportunity vertex
+// HN^{≥Δ} ‖ H₁N^Δ has mass ᾱ^{2Δ}α₁ (Eq. 44).  This module lets us check
+// both *numerically* from the transition structure, rather than trusting
+// the algebra: the state space has (2Δ+1)·(μn+1)^{Δ+1} vertices, which is
+// tractable for μn and Δ of a few units.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "chains/convergence.hpp"
+#include "chains/suffix_state.hpp"
+#include "markov/chain.hpp"
+#include "support/logprob.hpp"
+
+namespace neatbound::chains {
+
+/// Explicit state space of C_{F‖P} for honest trial count m = μn (integer)
+/// and delay Δ.  Detailed states are encoded 0 = N, h = H_h for 1 ≤ h ≤ m.
+class ConcatenatedStateSpace {
+ public:
+  /// Requires m ≥ 1 and the total state count to stay ≤ 2^22.
+  ConcatenatedStateSpace(std::uint64_t delta, std::uint32_t honest_trials);
+
+  [[nodiscard]] std::uint64_t delta() const noexcept { return delta_; }
+  [[nodiscard]] std::uint32_t honest_trials() const noexcept { return m_; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+
+  /// Number of detailed-state symbols: m+1 (N plus H_1..H_m).
+  [[nodiscard]] std::uint32_t symbol_count() const noexcept { return m_ + 1; }
+
+  /// Dense index of (suffix f, window s⁽¹⁾..s⁽^{Δ+1}⁾).
+  [[nodiscard]] std::size_t index_of(
+      const SuffixState& f, const std::vector<std::uint32_t>& window) const;
+
+  /// Inverse of index_of.
+  void decode(std::size_t index, SuffixState& f,
+              std::vector<std::uint32_t>& window) const;
+
+  /// The index of the convergence-opportunity vertex
+  /// HN^{≥Δ} ‖ H₁ N^Δ  (suffix = long gap, window = (H₁, N, …, N)).
+  [[nodiscard]] std::size_t convergence_vertex() const;
+
+ private:
+  std::uint64_t delta_;
+  std::uint32_t m_;
+  std::size_t suffix_count_;
+  std::size_t window_count_;
+  std::size_t size_;
+};
+
+/// Builds the explicit transition matrix of C_{F‖P}: from
+/// (f, s¹..s^{Δ+1}) the next vertex is (suffix(f‖coarse(s¹)), s²..s^{Δ+1}, s′)
+/// with probability P[s′] from Eq. (41).
+[[nodiscard]] markov::TransitionMatrix build_concatenated_matrix(
+    const ConcatenatedStateSpace& space, const DetailedStateModel& model);
+
+/// The product-form stationary vector of Eq. (40):
+/// π(f, s¹..s^{Δ+1}) = π_F(f)·Π P[sⁱ], as linear doubles.
+[[nodiscard]] std::vector<double> concatenated_stationary_product_form(
+    const ConcatenatedStateSpace& space, const DetailedStateModel& model);
+
+}  // namespace neatbound::chains

@@ -1,0 +1,86 @@
+#include "chains/convergence.hpp"
+
+#include <cmath>
+
+#include "stats/distributions.hpp"
+
+namespace neatbound::chains {
+
+LogProb DetailedStateModel::prob_h(std::uint64_t h) const {
+  NEATBOUND_EXPECTS(h >= 1, "H_h states require h >= 1");
+  const stats::Binomial binom(honest_trials, p);
+  return binom.pmf(static_cast<double>(h));
+}
+
+LogProb DetailedStateModel::prob_n() const {
+  return stats::Binomial(honest_trials, p).prob_zero();
+}
+
+LogProb DetailedStateModel::prob_some() const {
+  return stats::Binomial(honest_trials, p).prob_positive();
+}
+
+LogProb DetailedStateModel::prob_one() const {
+  return stats::Binomial(honest_trials, p).prob_one();
+}
+
+LogProb DetailedStateModel::min_detailed_prob() const {
+  NEATBOUND_EXPECTS(p > 0.0 && p < 1.0, "requires p in (0,1)");
+  // Eq. (97): the extremes of the detailed pmf are H_{μn} (= p^{μn}) and
+  // N (= (1−p)^{μn}); the smaller is the minimum over the whole set.
+  const LogProb all_mine =
+      LogProb::from_log(honest_trials * std::log(p));
+  const LogProb none = prob_n();
+  return all_mine < none ? all_mine : none;
+}
+
+LogProb convergence_opportunity_probability(LogProb alpha_bar, LogProb alpha1,
+                                            std::uint64_t delta) {
+  NEATBOUND_EXPECTS(delta >= 1, "delta must be >= 1");
+  return alpha_bar.pow(2.0 * static_cast<double>(delta)) * alpha1;
+}
+
+LogProb expected_convergence_opportunities(LogProb alpha_bar, LogProb alpha1,
+                                           std::uint64_t delta,
+                                           double window) {
+  NEATBOUND_EXPECTS(window > 0.0, "window must be positive");
+  return LogProb::from_linear(window) *
+         convergence_opportunity_probability(alpha_bar, alpha1, delta);
+}
+
+LogProb min_stationary_concatenated(const DetailedStateModel& model,
+                                    std::uint64_t delta, LogProb alpha_bar) {
+  const LogProb min_pi_f = min_stationary_suffix(delta, alpha_bar);
+  const LogProb min_detail = model.min_detailed_prob();
+  return min_pi_f * min_detail.pow(static_cast<double>(delta) + 1.0);
+}
+
+std::uint64_t count_convergence_opportunities(
+    std::span<const std::uint32_t> honest_blocks, std::uint64_t delta) {
+  NEATBOUND_EXPECTS(delta >= 1, "delta must be >= 1");
+  const std::size_t n = honest_blocks.size();
+  std::uint64_t count = 0;
+  // quiet_before: number of consecutive zero rounds immediately before t.
+  std::uint64_t quiet_before = delta;  // genesis supplies the leading quiet H
+  for (std::size_t t = 0; t < n; ++t) {
+    if (honest_blocks[t] == 0) {
+      ++quiet_before;
+      continue;
+    }
+    if (honest_blocks[t] == 1 && quiet_before >= delta &&
+        t + delta < n) {
+      bool quiet_after = true;
+      for (std::size_t j = t + 1; j <= t + delta; ++j) {
+        if (honest_blocks[j] != 0) {
+          quiet_after = false;
+          break;
+        }
+      }
+      if (quiet_after) ++count;
+    }
+    quiet_before = 0;
+  }
+  return count;
+}
+
+}  // namespace neatbound::chains

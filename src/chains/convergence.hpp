@@ -1,0 +1,67 @@
+// Convergence opportunities and the concatenated chain C_{F‖P}.
+//
+// A convergence opportunity is the paper's F‖P state HN^{≥Δ} ‖ H₁N^Δ:
+//   (i)   some honest block exists,                  then
+//   (ii)  ≥ Δ rounds with no honest block,           then
+//   (iii) a round where EXACTLY ONE honest block is mined,  then
+//   (iv)  Δ more rounds with no honest block.
+// At its end, every honest player agrees on a unique longest chain.
+//
+// The paper proves (Eq. 44):
+//   π_{F‖P}(HN^{≥Δ} ‖ H₁N^Δ) = ᾱ^{2Δ}·α₁
+// and E[C(t₀, t₀+T−1)] = T·ᾱ^{2Δ}·α₁ (Eq. 26); and Proposition 1:
+//   min π_{F‖P} = (min π_F)·(min{p^{μn}, (1−p)^{μn}})^{Δ+1},
+//   ‖φ‖_π ≤ 1/sqrt(min π_{F‖P}).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "chains/suffix_chain.hpp"
+#include "support/logprob.hpp"
+
+namespace neatbound::chains {
+
+/// Per-round probabilities of the detailed states (Eq. 41):
+/// P[H_h] = C(μn, h)·p^h·(1−p)^{μn−h} and P[N] = (1−p)^{μn}.
+struct DetailedStateModel {
+  double honest_trials = 0.0;  ///< μn (need not be integral)
+  double p = 0.0;              ///< proof-of-work hardness
+
+  /// P[H_h]: exactly h honest blocks in a round; h ≥ 1.
+  [[nodiscard]] LogProb prob_h(std::uint64_t h) const;
+  /// P[N] = ᾱ.
+  [[nodiscard]] LogProb prob_n() const;
+  /// α = 1 − ᾱ.
+  [[nodiscard]] LogProb prob_some() const;
+  /// α₁ = P[H₁].
+  [[nodiscard]] LogProb prob_one() const;
+  /// min over Detailed-State-Set of the per-round probability — the
+  /// paper's Eq. (97): min{p^{μn}, (1−p)^{μn}}.
+  [[nodiscard]] LogProb min_detailed_prob() const;
+};
+
+/// Eq. (44): π_{F‖P}(HN^{≥Δ}‖H₁N^Δ) = ᾱ^{2Δ}·α₁, in log space.
+[[nodiscard]] LogProb convergence_opportunity_probability(
+    LogProb alpha_bar, LogProb alpha1, std::uint64_t delta);
+
+/// Eq. (26): E[C(t₀, t₀+T−1)] = T·ᾱ^{2Δ}·α₁.
+[[nodiscard]] LogProb expected_convergence_opportunities(
+    LogProb alpha_bar, LogProb alpha1, std::uint64_t delta, double window);
+
+/// Proposition 1: min π_{F‖P} and the π-norm bound ‖φ‖_π ≤ 1/sqrt(min π).
+[[nodiscard]] LogProb min_stationary_concatenated(
+    const DetailedStateModel& model, std::uint64_t delta, LogProb alpha_bar);
+
+/// Counts convergence opportunities in a series of per-round honest block
+/// counts.  `honest_blocks[t]` is the number of blocks honest miners mined
+/// in round t.  The genesis block plays the role of the leading H, so a
+/// qualifying H₁ at small t (with only N's before it) counts as long as
+/// the quiet gaps hold.  A round t is counted when:
+///   honest_blocks[t] == 1,
+///   honest_blocks[t−Δ .. t−1] are all 0 (or t < Δ with all-zero prefix),
+///   honest_blocks[t+1 .. t+Δ] are all 0 (requires t+Δ < size).
+[[nodiscard]] std::uint64_t count_convergence_opportunities(
+    std::span<const std::uint32_t> honest_blocks, std::uint64_t delta);
+
+}  // namespace neatbound::chains

@@ -1,0 +1,39 @@
+#include "chains/frequencies.hpp"
+
+#include <cmath>
+
+#include "chains/suffix_chain.hpp"
+
+namespace neatbound::chains {
+
+SuffixFrequencyReport suffix_frequencies(
+    std::span<const std::uint32_t> honest_counts, std::uint64_t delta) {
+  const SuffixStateSpace space(delta);
+  std::vector<bool> series(honest_counts.size());
+  for (std::size_t t = 0; t < honest_counts.size(); ++t) {
+    series[t] = honest_counts[t] >= 1;
+  }
+  const auto states = classify_series(series, delta);
+
+  SuffixFrequencyReport report;
+  report.visits.assign(space.size(), 0);
+  report.total_rounds = honest_counts.size();
+  for (const auto& state : states) {
+    if (!state.has_value()) continue;
+    ++report.visits[space.index_of(*state)];
+    ++report.classified_rounds;
+  }
+  return report;
+}
+
+double max_frequency_error(const SuffixFrequencyReport& report,
+                           const SuffixStateSpace& space, double alpha) {
+  const auto pi = stationary_closed_form_vector(space, alpha);
+  double worst = 0.0;
+  for (std::size_t i = 0; i < space.size(); ++i) {
+    worst = std::max(worst, std::fabs(report.frequency(i) - pi[i]));
+  }
+  return worst;
+}
+
+}  // namespace neatbound::chains

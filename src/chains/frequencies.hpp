@@ -1,0 +1,42 @@
+// Empirical suffix-state frequencies from simulated traces.
+//
+// Bridges the simulator and the Markov analysis: a per-round honest
+// block-count trace (from either engine) is classified into Suffix-Set
+// states via classify_series, and the visit frequencies are compared with
+// the closed-form stationary distribution of Eq. (37).  This validates
+// the whole pipeline — binomial mining, the suffix classifier and the
+// stationary algebra — against each other on real executions.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "chains/suffix_state.hpp"
+
+namespace neatbound::chains {
+
+struct SuffixFrequencyReport {
+  std::vector<std::uint64_t> visits;  ///< per dense state index
+  std::uint64_t classified_rounds = 0;  ///< rounds with a defined state
+  std::uint64_t total_rounds = 0;
+
+  /// Empirical frequency of a state (0 when nothing was classified).
+  [[nodiscard]] double frequency(std::size_t index) const {
+    if (classified_rounds == 0) return 0.0;
+    return static_cast<double>(visits.at(index)) /
+           static_cast<double>(classified_rounds);
+  }
+};
+
+/// Classifies a per-round honest block-count trace (H iff count ≥ 1) and
+/// tallies suffix-state visits.
+[[nodiscard]] SuffixFrequencyReport suffix_frequencies(
+    std::span<const std::uint32_t> honest_counts, std::uint64_t delta);
+
+/// Max over states of |empirical frequency − closed-form stationary|.
+[[nodiscard]] double max_frequency_error(const SuffixFrequencyReport& report,
+                                         const SuffixStateSpace& space,
+                                         double alpha);
+
+}  // namespace neatbound::chains

@@ -1,0 +1,79 @@
+#include "chains/suffix_chain.hpp"
+
+namespace neatbound::chains {
+
+markov::TransitionMatrix build_suffix_chain_matrix(
+    const SuffixStateSpace& space, double alpha) {
+  NEATBOUND_EXPECTS(alpha > 0.0 && alpha < 1.0,
+                    "suffix chain requires alpha in (0,1)");
+  markov::TransitionMatrix matrix(space.size());
+  for (std::size_t i = 0; i < space.size(); ++i) {
+    const SuffixState from = space.state_at(i);
+    const SuffixState on_h = space.transition(from, /*next_is_h=*/true);
+    const SuffixState on_n = space.transition(from, /*next_is_h=*/false);
+    matrix.add(i, space.index_of(on_h), alpha);
+    matrix.add(i, space.index_of(on_n), 1.0 - alpha);
+  }
+  matrix.check_stochastic();
+  return matrix;
+}
+
+markov::MarkovChain build_suffix_chain(const SuffixStateSpace& space,
+                                       double alpha) {
+  std::vector<std::string> names;
+  names.reserve(space.size());
+  for (std::size_t i = 0; i < space.size(); ++i) {
+    names.push_back(space.name_of(space.state_at(i)));
+  }
+  return markov::MarkovChain(build_suffix_chain_matrix(space, alpha),
+                             std::move(names));
+}
+
+LogProb stationary_closed_form(const SuffixState& state, std::uint64_t delta,
+                               LogProb alpha_bar) {
+  NEATBOUND_EXPECTS(delta >= 1, "delta must be >= 1");
+  NEATBOUND_EXPECTS(!alpha_bar.is_zero() && alpha_bar < LogProb::one(),
+                    "alpha_bar must be in (0,1)");
+  const LogProb alpha = alpha_bar.complement();
+  const LogProb abar_delta = alpha_bar.pow(static_cast<double>(delta));
+  const LogProb one_minus_abar_delta = abar_delta.complement();
+  switch (state.kind) {
+    case SuffixKind::kShortGapHead:  // (37a)
+      return alpha * one_minus_abar_delta;
+    case SuffixKind::kShortGapTail:  // (37b)
+      NEATBOUND_EXPECTS(state.tail >= 1 && state.tail <= delta - 1,
+                        "short-gap tail out of range");
+      return alpha * one_minus_abar_delta *
+             alpha_bar.pow(static_cast<double>(state.tail));
+    case SuffixKind::kLongGap:  // (37c)
+      return abar_delta;
+    case SuffixKind::kLongGapTail:  // (37d)
+      NEATBOUND_EXPECTS(state.tail <= delta - 1, "long-gap tail out of range");
+      return alpha * alpha_bar.pow(static_cast<double>(delta + state.tail));
+  }
+  NEATBOUND_ENSURES(false, "unreachable: invalid SuffixKind");
+  return LogProb::zero();
+}
+
+std::vector<double> stationary_closed_form_vector(const SuffixStateSpace& space,
+                                                  double alpha) {
+  NEATBOUND_EXPECTS(alpha > 0.0 && alpha < 1.0, "alpha must be in (0,1)");
+  const LogProb alpha_bar = LogProb::from_linear(1.0 - alpha);
+  std::vector<double> pi(space.size());
+  for (std::size_t i = 0; i < space.size(); ++i) {
+    pi[i] = stationary_closed_form(space.state_at(i), space.delta(), alpha_bar)
+                .linear();
+  }
+  return pi;
+}
+
+LogProb min_stationary_suffix(std::uint64_t delta, LogProb alpha_bar) {
+  const LogProb alpha = alpha_bar.complement();
+  const LogProb abar_delta = alpha_bar.pow(static_cast<double>(delta));
+  const LogProb one_minus_abar_delta = abar_delta.complement();
+  const LogProb smaller =
+      abar_delta < one_minus_abar_delta ? abar_delta : one_minus_abar_delta;
+  return alpha * alpha_bar.pow(static_cast<double>(delta - 1)) * smaller;
+}
+
+}  // namespace neatbound::chains

@@ -1,0 +1,47 @@
+// The suffix-of-previous-and-current-states Markov chain C_F (Fig. 2) and
+// its stationary distribution, both numerically (via the generic markov
+// library) and in the paper's closed form, Eq. (37a–d):
+//
+//   π_F(HN^{≤Δ−1}H)     = α·(1 − ᾱ^Δ)            (37a)
+//   π_F(HN^{≤Δ−1}HN^a)  = α·(1 − ᾱ^Δ)·ᾱ^a        (37b)
+//   π_F(HN^{≥Δ})        = ᾱ^Δ                    (37c)
+//   π_F(HN^{≥Δ}HN^b)    = α·ᾱ^{Δ+b}              (37d)
+//
+// where α = P[round is H] and ᾱ = 1 − α.
+#pragma once
+
+#include <vector>
+
+#include "chains/suffix_state.hpp"
+#include "markov/chain.hpp"
+#include "support/logprob.hpp"
+
+namespace neatbound::chains {
+
+/// Builds the explicit (2Δ+1)-state transition matrix of C_F for a given
+/// per-round honest-success probability α.  Suitable for laptop-scale Δ.
+[[nodiscard]] markov::TransitionMatrix build_suffix_chain_matrix(
+    const SuffixStateSpace& space, double alpha);
+
+/// Builds a MarkovChain with human-readable state names attached.
+[[nodiscard]] markov::MarkovChain build_suffix_chain(
+    const SuffixStateSpace& space, double alpha);
+
+/// Closed-form stationary probability of one suffix state, Eq. (37a–d),
+/// computed in log space so it works at paper-scale Δ (e.g. 10^13) where
+/// the state space cannot be materialized.  `log_alpha_bar` = ln ᾱ.
+[[nodiscard]] LogProb stationary_closed_form(const SuffixState& state,
+                                             std::uint64_t delta,
+                                             LogProb alpha_bar);
+
+/// Closed-form stationary distribution as a dense vector indexed like
+/// SuffixStateSpace::index_of — for comparison with numeric solvers.
+[[nodiscard]] std::vector<double> stationary_closed_form_vector(
+    const SuffixStateSpace& space, double alpha);
+
+/// min_f π_F(f) per the paper's Eq. (99):
+///   min π_F = α·ᾱ^{Δ−1}·min{1 − ᾱ^Δ, ᾱ^Δ}.
+[[nodiscard]] LogProb min_stationary_suffix(std::uint64_t delta,
+                                            LogProb alpha_bar);
+
+}  // namespace neatbound::chains

@@ -1,0 +1,136 @@
+#include "chains/suffix_state.hpp"
+
+namespace neatbound::chains {
+
+SuffixStateSpace::SuffixStateSpace(std::uint64_t delta) : delta_(delta) {
+  NEATBOUND_EXPECTS(delta >= 1, "suffix chain requires delta >= 1");
+  // The dense index layout assumes 2Δ+1 fits in size_t comfortably; the
+  // matrix-based tooling is only meant for laptop-scale Δ anyway.
+  NEATBOUND_EXPECTS(delta <= (1ULL << 20),
+                    "explicit suffix state space limited to delta <= 2^20");
+}
+
+std::size_t SuffixStateSpace::index_of(const SuffixState& s) const {
+  switch (s.kind) {
+    case SuffixKind::kShortGapHead:
+      NEATBOUND_EXPECTS(s.tail == 0, "head state has no tail");
+      return 0;
+    case SuffixKind::kShortGapTail:
+      NEATBOUND_EXPECTS(s.tail >= 1 && s.tail <= delta_ - 1,
+                        "short-gap tail a must be in 1..delta-1");
+      return static_cast<std::size_t>(s.tail);
+    case SuffixKind::kLongGap:
+      NEATBOUND_EXPECTS(s.tail == 0, "long-gap state has no tail");
+      return static_cast<std::size_t>(delta_);
+    case SuffixKind::kLongGapTail:
+      NEATBOUND_EXPECTS(s.tail <= delta_ - 1,
+                        "long-gap tail b must be in 0..delta-1");
+      return static_cast<std::size_t>(delta_ + 1 + s.tail);
+  }
+  NEATBOUND_ENSURES(false, "unreachable: invalid SuffixKind");
+  return 0;
+}
+
+SuffixState SuffixStateSpace::state_at(std::size_t index) const {
+  NEATBOUND_EXPECTS(index < size(), "suffix state index out of range");
+  const std::uint64_t i = index;
+  if (i == 0) return {SuffixKind::kShortGapHead, 0};
+  if (i <= delta_ - 1) return {SuffixKind::kShortGapTail, i};
+  if (i == delta_) return {SuffixKind::kLongGap, 0};
+  return {SuffixKind::kLongGapTail, i - delta_ - 1};
+}
+
+std::string SuffixStateSpace::name_of(const SuffixState& s) const {
+  const std::string short_gap = "HN<=" + std::to_string(delta_ - 1);
+  const std::string long_gap = "HN>=" + std::to_string(delta_);
+  switch (s.kind) {
+    case SuffixKind::kShortGapHead:
+      return short_gap + ".H";
+    case SuffixKind::kShortGapTail:
+      return short_gap + ".H.N" + std::to_string(s.tail);
+    case SuffixKind::kLongGap:
+      return long_gap;
+    case SuffixKind::kLongGapTail:
+      return long_gap + ".H.N" + std::to_string(s.tail);
+  }
+  return "?";
+}
+
+SuffixState SuffixStateSpace::transition(const SuffixState& from,
+                                         bool next_is_h) const {
+  // Rules ①–④ of Section V-A / the edges of Fig. 2.
+  if (next_is_h) {
+    // Rule ③: any state whose last coarse symbol closes a gap of ≤ Δ−1
+    // moves to HN^{≤Δ−1}H; the long-gap state starts its tail at b = 0
+    // (rule ②, b = 0 case).
+    switch (from.kind) {
+      case SuffixKind::kShortGapHead:
+      case SuffixKind::kShortGapTail:
+      case SuffixKind::kLongGapTail:
+        return {SuffixKind::kShortGapHead, 0};
+      case SuffixKind::kLongGap:
+        return {SuffixKind::kLongGapTail, 0};
+    }
+  } else {
+    // Rules ① / ② / ④: N extends the trailing run; when the run reaches
+    // Δ the state collapses into HN^{≥Δ} (rule ④).
+    switch (from.kind) {
+      case SuffixKind::kShortGapHead: {
+        if (delta_ == 1) return {SuffixKind::kLongGap, 0};
+        return {SuffixKind::kShortGapTail, 1};
+      }
+      case SuffixKind::kShortGapTail: {
+        if (from.tail + 1 <= delta_ - 1) {
+          return {SuffixKind::kShortGapTail, from.tail + 1};
+        }
+        return {SuffixKind::kLongGap, 0};
+      }
+      case SuffixKind::kLongGap:
+        return {SuffixKind::kLongGap, 0};
+      case SuffixKind::kLongGapTail: {
+        if (from.tail + 1 <= delta_ - 1) {
+          return {SuffixKind::kLongGapTail, from.tail + 1};
+        }
+        return {SuffixKind::kLongGap, 0};
+      }
+    }
+  }
+  NEATBOUND_ENSURES(false, "unreachable: invalid SuffixKind");
+  return {};
+}
+
+std::vector<std::optional<SuffixState>> classify_series(
+    const std::vector<bool>& series, std::uint64_t delta) {
+  const SuffixStateSpace space(delta);
+  std::vector<std::optional<SuffixState>> out(series.size());
+
+  // Warm-up: after the first H we track the state *as if* the suffix were
+  // HN^{≤Δ−1}H.  Transitions from that pseudo-state coincide with the true
+  // ones in every case that matters: an H within Δ−1 rounds genuinely
+  // produces HN^{≤Δ−1}H, and a run of Δ N's genuinely produces HN^{≥Δ}.
+  // The state only becomes *reportable* once a second H has occurred or a
+  // ≥Δ gap has elapsed — exactly the paper's “sufficiently large t”.
+  bool seen_first_h = false;
+  bool reportable = false;
+  std::uint64_t h_count = 0;
+  SuffixState state{SuffixKind::kShortGapHead, 0};
+
+  for (std::size_t t = 0; t < series.size(); ++t) {
+    const bool is_h = series[t];
+    if (!seen_first_h) {
+      if (is_h) {
+        seen_first_h = true;
+        h_count = 1;
+        state = {SuffixKind::kShortGapHead, 0};
+      }
+      continue;  // states before the first H are undefined
+    }
+    state = space.transition(state, is_h);
+    if (is_h) ++h_count;
+    if (h_count >= 2 || state.kind == SuffixKind::kLongGap) reportable = true;
+    if (reportable) out[t] = state;
+  }
+  return out;
+}
+
+}  // namespace neatbound::chains

@@ -1,0 +1,85 @@
+// The Suffix-Set state space of the paper's Eq. (29) and the suffix
+// transition function of Eq. (30) / Fig. 2.
+//
+// A round's coarse state is H (≥1 honest block mined) or N (none).  The
+// suffix chain C_F tracks which of 2Δ+1 suffix patterns the history of
+// coarse states currently matches:
+//
+//   index 0        : HN^{≤Δ−1}H           (“recent H, short gap before it”)
+//   index a ∈ 1..Δ−1 : HN^{≤Δ−1}HN^a      (short gap, then a trailing N)
+//   index Δ        : HN^{≥Δ}              (long N run since the last H)
+//   index Δ+1+b,
+//     b ∈ 0..Δ−1   : HN^{≥Δ}HN^b          (long gap, an H, b trailing N)
+//
+// Total: 2Δ+1 states, matching the paper.  For Δ = 1 the a-range is empty
+// and the set degenerates to {HH, HN^{≥1}, HN^{≥1}H} (3 states).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "support/contracts.hpp"
+
+namespace neatbound::chains {
+
+/// Which of the four pattern families a suffix state belongs to.
+enum class SuffixKind : std::uint8_t {
+  kShortGapHead,   ///< HN^{≤Δ−1}H        (paper: the “converged-ish” head)
+  kShortGapTail,   ///< HN^{≤Δ−1}HN^a,    a ∈ {1..Δ−1}
+  kLongGap,        ///< HN^{≥Δ}
+  kLongGapTail,    ///< HN^{≥Δ}HN^b,      b ∈ {0..Δ−1}
+};
+
+/// A suffix state: kind plus the trailing-N count (a or b; 0 otherwise).
+struct SuffixState {
+  SuffixKind kind = SuffixKind::kShortGapHead;
+  std::uint64_t tail = 0;  ///< a for kShortGapTail, b for kLongGapTail
+
+  friend bool operator==(const SuffixState&, const SuffixState&) = default;
+};
+
+/// The full suffix state space for a given Δ, with dense index mapping.
+class SuffixStateSpace {
+ public:
+  explicit SuffixStateSpace(std::uint64_t delta);
+
+  [[nodiscard]] std::uint64_t delta() const noexcept { return delta_; }
+
+  /// Number of states: 2Δ+1.
+  [[nodiscard]] std::size_t size() const noexcept {
+    return static_cast<std::size_t>(2 * delta_ + 1);
+  }
+
+  /// Dense index of a state (0-based; layout documented above).
+  [[nodiscard]] std::size_t index_of(const SuffixState& s) const;
+
+  /// Inverse of index_of.
+  [[nodiscard]] SuffixState state_at(std::size_t index) const;
+
+  /// Human-readable name, e.g. "HN<=2.H", "HN>=3.H.N2".
+  [[nodiscard]] std::string name_of(const SuffixState& s) const;
+
+  /// The suffix transition function of Eq. (30): the state reached from
+  /// `from` when the next round's coarse state is H (`next_is_h` = true)
+  /// or N.  Implements exactly rules ①–④ of Section V-A.
+  [[nodiscard]] SuffixState transition(const SuffixState& from,
+                                       bool next_is_h) const;
+
+ private:
+  std::uint64_t delta_;
+};
+
+/// Folds a raw H/N series into per-round suffix states.
+///
+/// The suffix chain is only well-defined once enough history exists (the
+/// paper conditions on “at least two H having happened”, or one H followed
+/// by a ≥Δ gap).  Entries before that point are nullopt.  `series[t]` is
+/// true iff round t's coarse state is H.  (Takes vector<bool> by reference
+/// because its packed representation cannot form a span.)
+[[nodiscard]] std::vector<std::optional<SuffixState>> classify_series(
+    const std::vector<bool>& series, std::uint64_t delta);
+
+}  // namespace neatbound::chains

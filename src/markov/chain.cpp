@@ -1,0 +1,59 @@
+#include "markov/chain.hpp"
+
+#include <cmath>
+
+namespace neatbound::markov {
+
+TransitionMatrix::TransitionMatrix(std::size_t n) : n_(n), data_(n * n, 0.0) {
+  NEATBOUND_EXPECTS(n > 0, "TransitionMatrix needs at least one state");
+}
+
+double TransitionMatrix::row_sum(std::size_t from) const {
+  NEATBOUND_EXPECTS(from < n_, "state index out of range");
+  double sum = 0.0;
+  for (std::size_t j = 0; j < n_; ++j) sum += data_[from * n_ + j];
+  return sum;
+}
+
+void TransitionMatrix::check_stochastic(double tol) const {
+  for (std::size_t i = 0; i < n_; ++i) {
+    const double s = row_sum(i);
+    NEATBOUND_ENSURES(std::fabs(s - 1.0) <= tol,
+                      "row " + std::to_string(i) + " sums to " +
+                          std::to_string(s) + ", expected 1");
+  }
+}
+
+void TransitionMatrix::apply_left(std::span<const double> x,
+                                  std::span<double> y) const {
+  NEATBOUND_EXPECTS(x.size() == n_ && y.size() == n_,
+                    "vector size must match state count");
+  for (std::size_t j = 0; j < n_; ++j) y[j] = 0.0;
+  for (std::size_t i = 0; i < n_; ++i) {
+    const double xi = x[i];
+    if (xi == 0.0) continue;
+    const double* row_ptr = data_.data() + i * n_;
+    for (std::size_t j = 0; j < n_; ++j) y[j] += xi * row_ptr[j];
+  }
+}
+
+MarkovChain::MarkovChain(TransitionMatrix matrix,
+                         std::vector<std::string> state_names)
+    : matrix_(std::move(matrix)), state_names_(std::move(state_names)) {
+  matrix_.check_stochastic();
+  if (state_names_.empty()) {
+    state_names_.reserve(matrix_.size());
+    for (std::size_t i = 0; i < matrix_.size(); ++i) {
+      state_names_.push_back("s" + std::to_string(i));
+    }
+  }
+  NEATBOUND_EXPECTS(state_names_.size() == matrix_.size(),
+                    "one name per state required");
+}
+
+const std::string& MarkovChain::state_name(std::size_t i) const {
+  NEATBOUND_EXPECTS(i < state_names_.size(), "state index out of range");
+  return state_names_[i];
+}
+
+}  // namespace neatbound::markov

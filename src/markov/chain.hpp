@@ -1,0 +1,80 @@
+// Generic finite Markov chains over dense row-stochastic matrices.
+//
+// Used to *independently* verify the paper's closed-form results: the
+// suffix chain C_F of Fig. 2 is instantiated as a concrete transition
+// matrix (src/chains) and its stationary distribution is solved
+// numerically here, then compared against the closed form Eq. (37a–d).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "support/contracts.hpp"
+
+namespace neatbound::markov {
+
+/// Row-stochastic transition matrix P where P(i,j) = P[next=j | cur=i].
+class TransitionMatrix {
+ public:
+  /// Creates an all-zero matrix with `n` states; fill with `set` then
+  /// validate with `check_stochastic`.
+  explicit TransitionMatrix(std::size_t n);
+
+  [[nodiscard]] std::size_t size() const noexcept { return n_; }
+
+  [[nodiscard]] double get(std::size_t from, std::size_t to) const {
+    NEATBOUND_EXPECTS(from < n_ && to < n_, "state index out of range");
+    return data_[from * n_ + to];
+  }
+
+  void set(std::size_t from, std::size_t to, double p) {
+    NEATBOUND_EXPECTS(from < n_ && to < n_, "state index out of range");
+    NEATBOUND_EXPECTS(p >= 0.0 && p <= 1.0 + 1e-12,
+                      "transition probability out of [0,1]");
+    data_[from * n_ + to] = p;
+  }
+
+  void add(std::size_t from, std::size_t to, double p) {
+    set(from, to, get(from, to) + p);
+  }
+
+  [[nodiscard]] std::span<const double> row(std::size_t from) const {
+    NEATBOUND_EXPECTS(from < n_, "state index out of range");
+    return {data_.data() + from * n_, n_};
+  }
+
+  /// Sum of a row (should be 1 for a stochastic matrix).
+  [[nodiscard]] double row_sum(std::size_t from) const;
+
+  /// Throws ContractViolation if any row deviates from sum 1 by > tol.
+  void check_stochastic(double tol = 1e-12) const;
+
+  /// y = x · P (distribution evolution, left multiplication).
+  void apply_left(std::span<const double> x, std::span<double> y) const;
+
+ private:
+  std::size_t n_;
+  std::vector<double> data_;
+};
+
+/// An immutable Markov chain: a validated transition matrix plus optional
+/// state names for diagnostics.
+class MarkovChain {
+ public:
+  explicit MarkovChain(TransitionMatrix matrix,
+                       std::vector<std::string> state_names = {});
+
+  [[nodiscard]] std::size_t size() const noexcept { return matrix_.size(); }
+  [[nodiscard]] const TransitionMatrix& matrix() const noexcept {
+    return matrix_;
+  }
+  [[nodiscard]] const std::string& state_name(std::size_t i) const;
+
+ private:
+  TransitionMatrix matrix_;
+  std::vector<std::string> state_names_;
+};
+
+}  // namespace neatbound::markov

@@ -1,0 +1,53 @@
+#include "markov/chernoff.hpp"
+
+#include <cmath>
+
+#include "support/contracts.hpp"
+
+namespace neatbound::markov {
+
+double pi_norm(std::span<const double> phi, std::span<const double> pi) {
+  NEATBOUND_EXPECTS(phi.size() == pi.size(),
+                    "phi and pi must have equal size");
+  double total = 0.0;
+  for (std::size_t i = 0; i < phi.size(); ++i) {
+    if (phi[i] == 0.0) continue;
+    NEATBOUND_EXPECTS(pi[i] > 0.0,
+                      "pi must be positive wherever phi has mass");
+    total += phi[i] * phi[i] / pi[i];
+  }
+  return std::sqrt(total);
+}
+
+double pi_norm_bound_from_min(double min_pi) {
+  NEATBOUND_EXPECTS(min_pi > 0.0, "min stationary mass must be positive");
+  return 1.0 / std::sqrt(min_pi);
+}
+
+namespace {
+LogProb evaluate(const MarkovChernoffParams& p) {
+  NEATBOUND_EXPECTS(p.stationary_mass > 0.0 && p.stationary_mass <= 1.0,
+                    "stationary mass must be in (0,1]");
+  NEATBOUND_EXPECTS(p.steps > 0.0, "steps must be positive");
+  NEATBOUND_EXPECTS(p.delta > 0.0, "delta must be positive");
+  NEATBOUND_EXPECTS(p.mixing_time >= 1.0, "mixing time must be >= 1");
+  NEATBOUND_EXPECTS(p.phi_pi_norm >= 1.0 - 1e-12,
+                    "pi-norm of a distribution is >= 1");
+  NEATBOUND_EXPECTS(p.constant > 0.0, "leading constant must be positive");
+  const double exponent = -p.delta * p.delta * p.stationary_mass * p.steps /
+                          (72.0 * p.mixing_time);
+  return LogProb::from_log(std::log(p.constant) + std::log(p.phi_pi_norm) +
+                           exponent);
+}
+}  // namespace
+
+LogProb markov_chernoff_lower(const MarkovChernoffParams& p) {
+  NEATBOUND_EXPECTS(p.delta < 1.0, "lower-tail delta must be < 1");
+  return evaluate(p);
+}
+
+LogProb markov_chernoff_upper(const MarkovChernoffParams& p) {
+  return evaluate(p);
+}
+
+}  // namespace neatbound::markov

@@ -1,0 +1,43 @@
+// Chernoff–Hoeffding bounds for Markov chains, after Chung, Lam, Liu &
+// Mitzenmacher (2012), Theorem 3.1 — the concentration tool behind the
+// paper's Inequality (47):
+//
+//   P[ X ≤ (1−δ)·μT ] ≤ c·‖φ‖_π · exp( −δ²·μT / (72·τ(ε)) )
+//   P[ X ≥ (1+δ)·μT ] ≤ c·‖φ‖_π · exp( −δ²·μT / (72·τ(ε)) )
+//
+// where X counts visits to a target state over a T-step walk, μ is the
+// stationary mass of the target, τ(ε) is the ε-mixing time (ε ≤ 1/8) and
+// φ the initial distribution.  The bound evaluator returns log-space
+// values since the exponent is typically very large.
+#pragma once
+
+#include <span>
+
+#include "support/logprob.hpp"
+
+namespace neatbound::markov {
+
+/// ‖φ‖_π = sqrt( Σ_i φ(i)²/π(i) ) — the π-norm of the initial distribution.
+[[nodiscard]] double pi_norm(std::span<const double> phi,
+                             std::span<const double> pi);
+
+/// Upper bound on ‖φ‖_π from Proposition 1 of the paper:
+/// ‖φ‖_π ≤ 1/sqrt(min_i π(i)).
+[[nodiscard]] double pi_norm_bound_from_min(double min_pi);
+
+struct MarkovChernoffParams {
+  double stationary_mass = 0.0;  ///< μ: stationary probability of the target
+  double steps = 0.0;            ///< T: length of the walk
+  double delta = 0.0;            ///< deviation fraction δ in (0,1) for lower
+  double mixing_time = 1.0;      ///< τ(ε) with ε ≤ 1/8
+  double phi_pi_norm = 1.0;      ///< ‖φ‖_π (≥ 1)
+  double constant = 1.0;         ///< the leading constant c (≥ 1)
+};
+
+/// Lower-tail bound P[X ≤ (1−δ)μT] per Theorem 3.1 / the paper's Eq. (47).
+[[nodiscard]] LogProb markov_chernoff_lower(const MarkovChernoffParams& p);
+
+/// Upper-tail bound P[X ≥ (1+δ)μT] (same exponent shape).
+[[nodiscard]] LogProb markov_chernoff_upper(const MarkovChernoffParams& p);
+
+}  // namespace neatbound::markov

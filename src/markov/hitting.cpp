@@ -1,0 +1,85 @@
+#include "markov/hitting.hpp"
+
+#include <cmath>
+
+namespace neatbound::markov {
+
+std::vector<double> expected_hitting_times(const TransitionMatrix& matrix,
+                                           std::size_t target) {
+  const std::size_t n = matrix.size();
+  NEATBOUND_EXPECTS(target < n, "target state out of range");
+
+  // Unknowns: h(i) for i ≠ target (n−1 of them).  Build the dense system
+  //   h(i) − Σ_{j≠target} P(i,j)·h(j) = 1.
+  const std::size_t m = n - 1;
+  auto pack = [target](std::size_t state) {
+    return state < target ? state : state - 1;
+  };
+  std::vector<double> a(m * m, 0.0);
+  std::vector<double> b(m, 1.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i == target) continue;
+    const std::size_t row = pack(i);
+    a[row * m + row] = 1.0;
+    const auto p_row = matrix.row(i);
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == target || p_row[j] == 0.0) continue;
+      a[row * m + pack(j)] -= p_row[j];
+    }
+  }
+
+  // Gaussian elimination with partial pivoting.
+  for (std::size_t col = 0; col < m; ++col) {
+    std::size_t pivot = col;
+    for (std::size_t row = col + 1; row < m; ++row) {
+      if (std::fabs(a[row * m + col]) > std::fabs(a[pivot * m + col])) {
+        pivot = row;
+      }
+    }
+    NEATBOUND_ENSURES(std::fabs(a[pivot * m + col]) > 1e-300,
+                      "hitting-time system singular: some state cannot "
+                      "reach the target");
+    if (pivot != col) {
+      for (std::size_t k = 0; k < m; ++k) {
+        std::swap(a[pivot * m + k], a[col * m + k]);
+      }
+      std::swap(b[pivot], b[col]);
+    }
+    const double diag = a[col * m + col];
+    for (std::size_t row = col + 1; row < m; ++row) {
+      const double factor = a[row * m + col] / diag;
+      if (factor == 0.0) continue;
+      for (std::size_t k = col; k < m; ++k) {
+        a[row * m + k] -= factor * a[col * m + k];
+      }
+      b[row] -= factor * b[col];
+    }
+  }
+  std::vector<double> h_packed(m, 0.0);
+  for (std::size_t row = m; row-- > 0;) {
+    double sum = b[row];
+    for (std::size_t k = row + 1; k < m; ++k) {
+      sum -= a[row * m + k] * h_packed[k];
+    }
+    h_packed[row] = sum / a[row * m + row];
+  }
+
+  std::vector<double> h(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i != target) h[i] = h_packed[pack(i)];
+  }
+  return h;
+}
+
+double expected_return_time(const TransitionMatrix& matrix,
+                            std::size_t state) {
+  const auto h = expected_hitting_times(matrix, state);
+  double total = 1.0;
+  const auto row = matrix.row(state);
+  for (std::size_t j = 0; j < matrix.size(); ++j) {
+    total += row[j] * h[j];
+  }
+  return total;
+}
+
+}  // namespace neatbound::markov

@@ -1,0 +1,33 @@
+// Hitting and return times of finite Markov chains.
+//
+// Why this matters for the paper: the Kiffer et al. renewal argument the
+// paper critiques works with expected waiting times ℓ between (isolated)
+// honest blocks; the flagged error is precisely using 1/(pμn) where the
+// chain's true expected waiting time is 1/α.  Kac's formula — the expected
+// return time of a state equals 1/π(state) — lets us compute such waiting
+// times *from the chain itself* and check every closed form independently
+// (e.g. the expected gap between convergence opportunities is
+// 1/(ᾱ^{2Δ}α₁) on C_{F‖P}).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "markov/chain.hpp"
+
+namespace neatbound::markov {
+
+/// Expected number of steps to first reach `target` from each state
+/// (0 for the target itself).  First-step analysis:
+///   h(target) = 0;  h(i) = 1 + Σ_j P(i,j)·h(j)  for i ≠ target,
+/// solved directly by Gaussian elimination with partial pivoting.
+/// Requires every state to reach `target` (e.g. an irreducible chain).
+[[nodiscard]] std::vector<double> expected_hitting_times(
+    const TransitionMatrix& matrix, std::size_t target);
+
+/// Expected return time of `state`: 1 + Σ_j P(state, j)·h(j) where h is
+/// the hitting-time vector of `state`.
+[[nodiscard]] double expected_return_time(const TransitionMatrix& matrix,
+                                          std::size_t state);
+
+}  // namespace neatbound::markov

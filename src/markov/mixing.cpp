@@ -1,0 +1,70 @@
+#include "markov/mixing.hpp"
+
+#include <cmath>
+
+namespace neatbound::markov {
+
+double total_variation(std::span<const double> a, std::span<const double> b) {
+  NEATBOUND_EXPECTS(a.size() == b.size(),
+                    "TV distance needs equal-size distributions");
+  double total = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) total += std::fabs(a[i] - b[i]);
+  return 0.5 * total;
+}
+
+MixingResult mixing_time(const TransitionMatrix& matrix,
+                         std::span<const double> pi, double epsilon,
+                         std::size_t max_steps) {
+  NEATBOUND_EXPECTS(epsilon > 0.0 && epsilon < 1.0,
+                    "mixing_time requires epsilon in (0,1)");
+  NEATBOUND_EXPECTS(pi.size() == matrix.size(),
+                    "pi size must match state count");
+  const std::size_t n = matrix.size();
+
+  // Evolve all n point masses simultaneously: rows[i] = δᵢ · Pᵗ.
+  std::vector<std::vector<double>> rows(n, std::vector<double>(n, 0.0));
+  for (std::size_t i = 0; i < n; ++i) rows[i][i] = 1.0;
+
+  std::vector<double> scratch(n, 0.0);
+  MixingResult result;
+  for (std::size_t t = 0; t <= max_steps; ++t) {
+    double worst = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      worst = std::max(worst, total_variation(rows[i], pi));
+    }
+    if (worst <= epsilon) {
+      result.time = t;
+      result.converged = true;
+      result.final_tv = worst;
+      return result;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      matrix.apply_left(rows[i], scratch);
+      rows[i].swap(scratch);
+    }
+  }
+  result.time = max_steps;
+  result.converged = false;
+  // Recompute the worst TV for reporting.
+  double worst = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    worst = std::max(worst, total_variation(rows[i], pi));
+  }
+  result.final_tv = worst;
+  return result;
+}
+
+double tv_from_state(const TransitionMatrix& matrix, std::size_t start,
+                     std::size_t steps, std::span<const double> pi) {
+  NEATBOUND_EXPECTS(start < matrix.size(), "state index out of range");
+  std::vector<double> dist(matrix.size(), 0.0);
+  dist[start] = 1.0;
+  std::vector<double> scratch(matrix.size(), 0.0);
+  for (std::size_t t = 0; t < steps; ++t) {
+    matrix.apply_left(dist, scratch);
+    dist.swap(scratch);
+  }
+  return total_variation(dist, pi);
+}
+
+}  // namespace neatbound::markov

@@ -1,0 +1,38 @@
+// Total-variation distance and ε-mixing time.
+//
+// Section V-B of the paper invokes the ε-mixing time τ(ε, ᾱ, Δ) of C_{F‖P}
+// inside the Chernoff–Hoeffding exponent (their Eq. 47).  We compute mixing
+// times of the (tractable) suffix chain C_F exactly by evolving all point
+// masses, and expose the τ value used when evaluating the bound.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "markov/chain.hpp"
+
+namespace neatbound::markov {
+
+/// Total-variation distance ½‖a − b‖₁ between two distributions.
+[[nodiscard]] double total_variation(std::span<const double> a,
+                                     std::span<const double> b);
+
+struct MixingResult {
+  std::size_t time = 0;    ///< smallest t with worst-case TV ≤ epsilon
+  bool converged = false;  ///< false if max_steps was hit first
+  double final_tv = 0.0;   ///< worst-case TV at `time`
+};
+
+/// ε-mixing time: smallest t such that max over starting states i of
+/// TV(δᵢ·Pᵗ, π) ≤ ε.  `pi` must be the stationary distribution.
+[[nodiscard]] MixingResult mixing_time(const TransitionMatrix& matrix,
+                                       std::span<const double> pi,
+                                       double epsilon,
+                                       std::size_t max_steps = 1 << 20);
+
+/// TV(δᵢ·Pᵗ, π) for one starting state — diagnostic helper.
+[[nodiscard]] double tv_from_state(const TransitionMatrix& matrix,
+                                   std::size_t start, std::size_t steps,
+                                   std::span<const double> pi);
+
+}  // namespace neatbound::markov

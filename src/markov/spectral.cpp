@@ -1,0 +1,89 @@
+#include "markov/spectral.hpp"
+
+#include <cmath>
+
+namespace neatbound::markov {
+
+namespace {
+double l2_norm(std::span<const double> v) {
+  double total = 0.0;
+  for (const double x : v) total += x * x;
+  return std::sqrt(total);
+}
+}  // namespace
+
+SpectralResult estimate_lambda2(const TransitionMatrix& matrix,
+                                double tolerance, int max_iterations) {
+  const std::size_t n = matrix.size();
+  NEATBOUND_EXPECTS(n >= 2, "lambda2 needs at least two states");
+
+  // Start with a deterministic mean-zero vector not proportional to any
+  // obvious symmetry axis.
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = (i % 2 == 0 ? 1.0 : -1.0) + 0.25 * static_cast<double>(i) /
+                                           static_cast<double>(n);
+  }
+  auto project = [&x]() {
+    double mean = 0.0;
+    for (const double v : x) mean += v;
+    mean /= static_cast<double>(x.size());
+    for (double& v : x) v -= mean;
+  };
+  project();
+  double norm = l2_norm(x);
+  NEATBOUND_ENSURES(norm > 0.0, "projection annihilated the start vector");
+  for (double& v : x) v /= norm;
+
+  std::vector<double> next(n, 0.0);
+  SpectralResult result;
+  // Complex subdominant eigenvalue pairs make the per-step decay ratio
+  // oscillate around |λ₂|; the geometric mean of the ratios over a long
+  // tail window converges to |λ₂| regardless.  Split the tail into two
+  // halves and call the estimate converged when they agree.
+  const int total = std::max(max_iterations, 64);
+  const int warmup = total / 2;
+  double log_first = 0.0, log_second = 0.0;
+  int count_first = 0, count_second = 0;
+  for (int iter = 0; iter < total; ++iter) {
+    matrix.apply_left(x, next);
+    x.swap(next);
+    project();  // numerical drift back onto the mean-zero subspace
+    norm = l2_norm(x);
+    ++result.iterations;
+    if (norm <= 1e-280) {
+      // x collapsed: the chain has no subdominant component reachable from
+      // the start vector; gap is total.
+      result.lambda2 = 0.0;
+      result.spectral_gap = 1.0;
+      result.converged = true;
+      return result;
+    }
+    for (double& v : x) v /= norm;
+    if (iter >= warmup) {
+      const bool first_half = iter < warmup + (total - warmup) / 2;
+      (first_half ? log_first : log_second) += std::log(norm);
+      (first_half ? count_first : count_second) += 1;
+    }
+  }
+  const double rate_first = log_first / std::max(count_first, 1);
+  const double rate_second = log_second / std::max(count_second, 1);
+  result.lambda2 = std::exp((log_first + log_second) /
+                            static_cast<double>(count_first + count_second));
+  result.spectral_gap = 1.0 - result.lambda2;
+  result.converged =
+      std::fabs(rate_first - rate_second) <=
+      std::max(tolerance * 1e6, 1e-4) * std::max(1.0, std::fabs(rate_first));
+  return result;
+}
+
+double mixing_time_from_lambda2(double lambda2, double epsilon) {
+  NEATBOUND_EXPECTS(lambda2 >= 0.0 && lambda2 < 1.0,
+                    "lambda2 must be in [0,1)");
+  NEATBOUND_EXPECTS(epsilon > 0.0 && epsilon < 1.0,
+                    "epsilon must be in (0,1)");
+  if (lambda2 == 0.0) return 1.0;
+  return std::ceil(std::log(epsilon) / std::log(lambda2));
+}
+
+}  // namespace neatbound::markov

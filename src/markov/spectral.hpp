@@ -1,0 +1,37 @@
+// Spectral-gap estimation for finite Markov chains.
+//
+// The ε-mixing time τ(ε) entering the paper's Eq. (47) is governed by the
+// second-largest eigenvalue modulus λ₂ of the transition matrix:
+// asymptotically TV(t) ≈ C·|λ₂|^t, so τ(ε) ≈ ln(1/ε·C)/ln(1/|λ₂|).
+// Estimating λ₂ lets us sanity-check the measured mixing times of C_F and
+// extrapolate them to Δ beyond what the dense TV computation can afford.
+#pragma once
+
+#include <cstddef>
+
+#include "markov/chain.hpp"
+
+namespace neatbound::markov {
+
+struct SpectralResult {
+  double lambda2 = 0.0;       ///< estimated |λ₂|
+  double spectral_gap = 0.0;  ///< 1 − |λ₂|
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// Estimates |λ₂| by power iteration on the mean-zero subspace, which is
+/// invariant under x ← xP (row sums are 1, so Σ(xP) = Σx) and excludes
+/// the dominant left eigenvector π.  The decay ratio ‖xP‖/‖x‖ converges
+/// to |λ₂| whenever the subdominant eigenvalue is simple and real; for
+/// complex pairs the ratio oscillates and `converged` stays false (the
+/// last estimate is still returned).
+[[nodiscard]] SpectralResult estimate_lambda2(const TransitionMatrix& matrix,
+                                              double tolerance = 1e-12,
+                                              int max_iterations = 4096);
+
+/// Mixing-time prediction from a spectral estimate:
+/// t such that |λ₂|^t ≤ ε, i.e. ceil(ln ε / ln |λ₂|).
+[[nodiscard]] double mixing_time_from_lambda2(double lambda2, double epsilon);
+
+}  // namespace neatbound::markov

@@ -1,0 +1,137 @@
+#include "markov/stationary.hpp"
+
+#include <cmath>
+
+namespace neatbound::markov {
+
+namespace {
+void normalize_l1(std::vector<double>& v) {
+  double sum = 0.0;
+  for (const double x : v) sum += x;
+  NEATBOUND_ENSURES(sum > 0.0, "cannot normalize a zero vector");
+  for (double& x : v) x /= sum;
+}
+
+double l1_diff(std::span<const double> a, std::span<const double> b) {
+  double total = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) total += std::fabs(a[i] - b[i]);
+  return total;
+}
+}  // namespace
+
+StationaryResult solve_stationary_power(const TransitionMatrix& matrix,
+                                        const StationaryOptions& options) {
+  const std::size_t n = matrix.size();
+  std::vector<double> pi(n, 1.0 / static_cast<double>(n));
+  std::vector<double> next(n, 0.0);
+  StationaryResult result;
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    matrix.apply_left(pi, next);
+    normalize_l1(next);
+    const double change = l1_diff(pi, next);
+    pi.swap(next);
+    ++result.iterations;
+    if (change <= options.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+  result.residual = stationarity_residual(matrix, pi);
+  result.distribution = std::move(pi);
+  return result;
+}
+
+StationaryResult solve_stationary_fixed_point(const TransitionMatrix& matrix,
+                                              const StationaryOptions& options) {
+  const std::size_t n = matrix.size();
+  std::vector<double> pi(n, 1.0 / static_cast<double>(n));
+  std::vector<double> next(n, 0.0);
+  StationaryResult result;
+  constexpr double kDamping = 0.5;  // mix old and new iterate for stability
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    matrix.apply_left(pi, next);
+    for (std::size_t j = 0; j < n; ++j) {
+      next[j] = kDamping * next[j] + (1.0 - kDamping) * pi[j];
+    }
+    normalize_l1(next);
+    const double change = l1_diff(pi, next);
+    pi.swap(next);
+    ++result.iterations;
+    if (change <= options.tolerance * kDamping) {
+      result.converged = true;
+      break;
+    }
+  }
+  result.residual = stationarity_residual(matrix, pi);
+  result.distribution = std::move(pi);
+  return result;
+}
+
+StationaryResult solve_stationary_direct(const TransitionMatrix& matrix) {
+  const std::size_t n = matrix.size();
+  // Build (Pᵀ − I) with the last balance equation replaced by Σπ = 1
+  // (the balance system is rank n−1 for an irreducible chain).
+  std::vector<double> a(n * n, 0.0);
+  std::vector<double> b(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      a[j * n + i] = matrix.get(i, j) - (i == j ? 1.0 : 0.0);
+    }
+  }
+  for (std::size_t j = 0; j < n; ++j) a[(n - 1) * n + j] = 1.0;
+  b[n - 1] = 1.0;
+
+  // Gaussian elimination with partial pivoting.
+  for (std::size_t col = 0; col < n; ++col) {
+    std::size_t pivot = col;
+    for (std::size_t row = col + 1; row < n; ++row) {
+      if (std::fabs(a[row * n + col]) > std::fabs(a[pivot * n + col])) {
+        pivot = row;
+      }
+    }
+    NEATBOUND_ENSURES(std::fabs(a[pivot * n + col]) > 1e-300,
+                      "singular balance system (chain not irreducible?)");
+    if (pivot != col) {
+      for (std::size_t k = 0; k < n; ++k) {
+        std::swap(a[pivot * n + k], a[col * n + k]);
+      }
+      std::swap(b[pivot], b[col]);
+    }
+    const double diag = a[col * n + col];
+    for (std::size_t row = col + 1; row < n; ++row) {
+      const double factor = a[row * n + col] / diag;
+      if (factor == 0.0) continue;
+      for (std::size_t k = col; k < n; ++k) {
+        a[row * n + k] -= factor * a[col * n + k];
+      }
+      b[row] -= factor * b[col];
+    }
+  }
+  StationaryResult result;
+  result.distribution.assign(n, 0.0);
+  for (std::size_t row = n; row-- > 0;) {
+    double sum = b[row];
+    for (std::size_t k = row + 1; k < n; ++k) {
+      sum -= a[row * n + k] * result.distribution[k];
+    }
+    result.distribution[row] = sum / a[row * n + row];
+  }
+  // Clean tiny negative rounding artifacts and renormalize.
+  for (double& x : result.distribution) x = std::max(x, 0.0);
+  normalize_l1(result.distribution);
+  result.converged = true;
+  result.iterations = 1;
+  result.residual = stationarity_residual(matrix, result.distribution);
+  return result;
+}
+
+double stationarity_residual(const TransitionMatrix& matrix,
+                             std::span<const double> pi) {
+  NEATBOUND_EXPECTS(pi.size() == matrix.size(),
+                    "vector size must match state count");
+  std::vector<double> image(pi.size(), 0.0);
+  matrix.apply_left(pi, image);
+  return l1_diff(pi, image);
+}
+
+}  // namespace neatbound::markov

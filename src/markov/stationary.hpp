@@ -1,0 +1,48 @@
+// Stationary-distribution solvers: π = πP, Σπ = 1.
+//
+// Two independent methods are provided so each can cross-check the other
+// (and both cross-check the paper's closed forms):
+//  * power iteration — robust, O(iter · n²);
+//  * damped fixed-point (Jacobi-style) iteration on the balance equations,
+//    a different numerical path with different rounding behaviour.
+#pragma once
+
+#include <vector>
+
+#include "markov/chain.hpp"
+
+namespace neatbound::markov {
+
+struct StationaryOptions {
+  double tolerance = 1e-14;  ///< L1 change per sweep at convergence
+  int max_iterations = 200000;
+};
+
+struct StationaryResult {
+  std::vector<double> distribution;
+  int iterations = 0;
+  bool converged = false;
+  double residual = 0.0;  ///< final L1 difference ‖πP − π‖₁
+};
+
+/// Power iteration from the uniform distribution.
+/// Requires an ergodic chain for a unique limit (checked by the caller or
+/// via markov::is_ergodic).
+[[nodiscard]] StationaryResult solve_stationary_power(
+    const TransitionMatrix& matrix, const StationaryOptions& options = {});
+
+/// Damped Jacobi iteration on π_j = Σ_i π_i P(i,j) with renormalization.
+[[nodiscard]] StationaryResult solve_stationary_fixed_point(
+    const TransitionMatrix& matrix, const StationaryOptions& options = {});
+
+/// Direct solve of the balance equations (Pᵀ − I)π = 0, Σπ = 1 via
+/// Gaussian elimination with partial pivoting — exact up to rounding,
+/// O(n³); the reference answer the iterative solvers are tested against.
+[[nodiscard]] StationaryResult solve_stationary_direct(
+    const TransitionMatrix& matrix);
+
+/// ‖πP − π‖₁ for an arbitrary probability vector π.
+[[nodiscard]] double stationarity_residual(const TransitionMatrix& matrix,
+                                           std::span<const double> pi);
+
+}  // namespace neatbound::markov

@@ -1,0 +1,130 @@
+#include "markov/structure.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+#include <stack>
+
+namespace neatbound::markov {
+
+namespace {
+/// Adjacency lists of the positive-probability digraph.
+std::vector<std::vector<std::size_t>> positive_adjacency(
+    const TransitionMatrix& matrix) {
+  const std::size_t n = matrix.size();
+  std::vector<std::vector<std::size_t>> adj(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto row = matrix.row(i);
+    for (std::size_t j = 0; j < n; ++j) {
+      if (row[j] > 0.0) adj[i].push_back(j);
+    }
+  }
+  return adj;
+}
+}  // namespace
+
+std::vector<std::size_t> strongly_connected_components(
+    const TransitionMatrix& matrix) {
+  const std::size_t n = matrix.size();
+  const auto adj = positive_adjacency(matrix);
+
+  // Iterative Tarjan: explicit stack of (node, child-cursor).
+  constexpr std::size_t kUnvisited = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> index(n, kUnvisited);
+  std::vector<std::size_t> lowlink(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<std::size_t> component(n, kUnvisited);
+  std::stack<std::size_t> scc_stack;
+  std::size_t next_index = 0;
+  std::size_t next_component = 0;
+
+  struct Frame {
+    std::size_t node;
+    std::size_t cursor;
+  };
+
+  for (std::size_t root = 0; root < n; ++root) {
+    if (index[root] != kUnvisited) continue;
+    std::stack<Frame> frames;
+    frames.push({root, 0});
+    index[root] = lowlink[root] = next_index++;
+    scc_stack.push(root);
+    on_stack[root] = true;
+
+    while (!frames.empty()) {
+      Frame& frame = frames.top();
+      const std::size_t v = frame.node;
+      if (frame.cursor < adj[v].size()) {
+        const std::size_t w = adj[v][frame.cursor++];
+        if (index[w] == kUnvisited) {
+          index[w] = lowlink[w] = next_index++;
+          scc_stack.push(w);
+          on_stack[w] = true;
+          frames.push({w, 0});
+        } else if (on_stack[w]) {
+          lowlink[v] = std::min(lowlink[v], index[w]);
+        }
+      } else {
+        if (lowlink[v] == index[v]) {
+          // v is the root of an SCC; pop it.
+          for (;;) {
+            const std::size_t w = scc_stack.top();
+            scc_stack.pop();
+            on_stack[w] = false;
+            component[w] = next_component;
+            if (w == v) break;
+          }
+          ++next_component;
+        }
+        frames.pop();
+        if (!frames.empty()) {
+          const std::size_t parent = frames.top().node;
+          lowlink[parent] = std::min(lowlink[parent], lowlink[v]);
+        }
+      }
+    }
+  }
+  return component;
+}
+
+bool is_irreducible(const TransitionMatrix& matrix) {
+  const auto comp = strongly_connected_components(matrix);
+  return std::all_of(comp.begin(), comp.end(),
+                     [&comp](std::size_t c) { return c == comp[0]; });
+}
+
+std::size_t period(const TransitionMatrix& matrix) {
+  NEATBOUND_EXPECTS(is_irreducible(matrix),
+                    "period is defined here for irreducible chains");
+  const auto adj = positive_adjacency(matrix);
+  const std::size_t n = matrix.size();
+
+  // BFS from state 0; for every edge u->v the value
+  // (level(u) + 1 − level(v)) is a multiple of the period; gcd of all such
+  // values over reachable edges equals the period for irreducible chains.
+  std::vector<std::int64_t> level(n, -1);
+  std::queue<std::size_t> queue;
+  level[0] = 0;
+  queue.push(0);
+  std::int64_t g = 0;
+  while (!queue.empty()) {
+    const std::size_t u = queue.front();
+    queue.pop();
+    for (const std::size_t v : adj[u]) {
+      if (level[v] == -1) {
+        level[v] = level[u] + 1;
+        queue.push(v);
+      } else {
+        g = std::gcd(g, level[u] + 1 - level[v]);
+      }
+    }
+  }
+  NEATBOUND_ENSURES(g != 0, "irreducible chain must contain a cycle");
+  return static_cast<std::size_t>(g < 0 ? -g : g);
+}
+
+bool is_ergodic(const TransitionMatrix& matrix) {
+  return is_irreducible(matrix) && period(matrix) == 1;
+}
+
+}  // namespace neatbound::markov

@@ -1,0 +1,35 @@
+// Structural properties of finite Markov chains.
+//
+// The paper asserts that C_F and C_{F‖P} are time-homogeneous, irreducible
+// and ergodic (§V-A).  We verify irreducibility (single strongly connected
+// component of the positive-probability digraph) and aperiodicity (gcd of
+// cycle lengths = 1) mechanically, so the assertion is *checked*, not
+// assumed, for every chain we construct.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "markov/chain.hpp"
+
+namespace neatbound::markov {
+
+/// Strongly connected components of the positive-transition digraph,
+/// computed with iterative Tarjan.  Returns component id per state
+/// (0-based, reverse-topological order as Tarjan emits them).
+[[nodiscard]] std::vector<std::size_t> strongly_connected_components(
+    const TransitionMatrix& matrix);
+
+/// True iff the chain is irreducible (exactly one SCC).
+[[nodiscard]] bool is_irreducible(const TransitionMatrix& matrix);
+
+/// Period of an irreducible chain: gcd over states of cycle lengths
+/// through that state, computed via BFS level differences.
+/// Precondition: matrix is irreducible.
+[[nodiscard]] std::size_t period(const TransitionMatrix& matrix);
+
+/// Irreducible + aperiodic (period 1).  Finite irreducible aperiodic
+/// chains are ergodic (positive recurrent), matching the paper's usage.
+[[nodiscard]] bool is_ergodic(const TransitionMatrix& matrix);
+
+}  // namespace neatbound::markov

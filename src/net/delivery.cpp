@@ -1,0 +1,25 @@
+#include "net/delivery.hpp"
+
+namespace neatbound::net {
+
+DeliveryQueue::DeliveryQueue(std::uint32_t recipient_count)
+    : recipient_count_(recipient_count) {
+  NEATBOUND_EXPECTS(recipient_count > 0, "need at least one recipient");
+}
+
+void DeliveryQueue::schedule(std::uint64_t due_round, std::uint32_t recipient,
+                             protocol::BlockIndex block) {
+  NEATBOUND_EXPECTS(recipient < recipient_count_, "recipient out of range");
+  heap_.push(Delivery{due_round, recipient, block});
+}
+
+std::vector<Delivery> DeliveryQueue::collect_due(std::uint64_t round) {
+  std::vector<Delivery> due;
+  while (!heap_.empty() && heap_.top().due_round <= round) {
+    due.push_back(heap_.top());
+    heap_.pop();
+  }
+  return due;
+}
+
+}  // namespace neatbound::net

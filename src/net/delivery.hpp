@@ -1,0 +1,154 @@
+// The Δ-delay asynchronous network (Section III, adversary capability ①).
+//
+// A block broadcast at the end of round r reaches recipient i at the start
+// of round r + d, where the delay d is chosen per (message, recipient) by
+// a DeliverySchedule with 1 ≤ d ≤ Δ.  d = 1 is "next round" (the fastest
+// physically meaningful delivery in the round model); d = Δ saturates the
+// adversary's delaying power.  The adversary may not drop or modify
+// messages — only the delay is under its control — which the queue
+// enforces by construction.
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "protocol/block.hpp"
+#include "support/contracts.hpp"
+#include "support/rng.hpp"
+
+namespace neatbound::net {
+
+/// A block announcement in flight to one recipient.
+struct Delivery {
+  std::uint64_t due_round = 0;
+  std::uint32_t recipient = 0;
+  protocol::BlockIndex block = 0;
+};
+
+/// Round-indexed delivery queue for all recipients.
+class DeliveryQueue {
+ public:
+  explicit DeliveryQueue(std::uint32_t recipient_count);
+
+  /// Schedules `block` to reach `recipient` at `due_round`.
+  void schedule(std::uint64_t due_round, std::uint32_t recipient,
+                protocol::BlockIndex block);
+
+  /// Pops everything due at or before `round` for all recipients; the
+  /// result is grouped as (recipient, block) pairs in due order.
+  [[nodiscard]] std::vector<Delivery> collect_due(std::uint64_t round);
+
+  [[nodiscard]] std::size_t pending() const noexcept { return heap_.size(); }
+
+ private:
+  struct Later {
+    bool operator()(const Delivery& a, const Delivery& b) const noexcept {
+      return a.due_round > b.due_round;
+    }
+  };
+  std::uint32_t recipient_count_;
+  std::priority_queue<Delivery, std::vector<Delivery>, Later> heap_;
+};
+
+/// Chooses per-(message, recipient) delays, within [1, Δ].
+class DeliverySchedule {
+ public:
+  virtual ~DeliverySchedule() = default;
+
+  /// Delay for `block` broadcast by `sender` at `round`, toward `recipient`.
+  /// Must return a value in [1, max_delay()].
+  [[nodiscard]] virtual std::uint64_t delay(std::uint64_t round,
+                                            std::uint32_t sender,
+                                            std::uint32_t recipient,
+                                            protocol::BlockIndex block) = 0;
+
+  [[nodiscard]] virtual std::uint64_t max_delay() const noexcept = 0;
+};
+
+/// Synchronous baseline: every message arrives next round.
+class ImmediateDelivery final : public DeliverySchedule {
+ public:
+  explicit ImmediateDelivery(std::uint64_t delta) : delta_(delta) {
+    NEATBOUND_EXPECTS(delta >= 1, "delta must be >= 1");
+  }
+  [[nodiscard]] std::uint64_t delay(std::uint64_t, std::uint32_t,
+                                    std::uint32_t,
+                                    protocol::BlockIndex) override {
+    return 1;
+  }
+  [[nodiscard]] std::uint64_t max_delay() const noexcept override {
+    return delta_;
+  }
+
+ private:
+  std::uint64_t delta_;
+};
+
+/// Worst-case benign adversary: everything takes the full Δ.
+class MaxDelayDelivery final : public DeliverySchedule {
+ public:
+  explicit MaxDelayDelivery(std::uint64_t delta) : delta_(delta) {
+    NEATBOUND_EXPECTS(delta >= 1, "delta must be >= 1");
+  }
+  [[nodiscard]] std::uint64_t delay(std::uint64_t, std::uint32_t,
+                                    std::uint32_t,
+                                    protocol::BlockIndex) override {
+    return delta_;
+  }
+  [[nodiscard]] std::uint64_t max_delay() const noexcept override {
+    return delta_;
+  }
+
+ private:
+  std::uint64_t delta_;
+};
+
+/// Random delays uniform on [1, Δ] — a non-adversarial jittery network.
+class UniformRandomDelay final : public DeliverySchedule {
+ public:
+  UniformRandomDelay(std::uint64_t delta, Rng rng) : delta_(delta), rng_(rng) {
+    NEATBOUND_EXPECTS(delta >= 1, "delta must be >= 1");
+  }
+  [[nodiscard]] std::uint64_t delay(std::uint64_t, std::uint32_t,
+                                    std::uint32_t,
+                                    protocol::BlockIndex) override {
+    return 1 + rng_.uniform_below(delta_);
+  }
+  [[nodiscard]] std::uint64_t max_delay() const noexcept override {
+    return delta_;
+  }
+
+ private:
+  std::uint64_t delta_;
+  Rng rng_;
+};
+
+/// Partition-keeping schedule: recipients in the sender's group get the
+/// message next round; the other group gets it after the full Δ.  This is
+/// the delivery half of the PSS chain-splitting attack.
+class SplitDelivery final : public DeliverySchedule {
+ public:
+  /// `group_of[i]` ∈ {0, 1} assigns each miner to a side.
+  SplitDelivery(std::uint64_t delta, std::vector<std::uint8_t> group_of)
+      : delta_(delta), group_of_(std::move(group_of)) {
+    NEATBOUND_EXPECTS(delta >= 1, "delta must be >= 1");
+  }
+  [[nodiscard]] std::uint64_t delay(std::uint64_t, std::uint32_t sender,
+                                    std::uint32_t recipient,
+                                    protocol::BlockIndex) override {
+    NEATBOUND_EXPECTS(sender < group_of_.size() &&
+                          recipient < group_of_.size(),
+                      "miner id out of range");
+    return group_of_[sender] == group_of_[recipient] ? 1 : delta_;
+  }
+  [[nodiscard]] std::uint64_t max_delay() const noexcept override {
+    return delta_;
+  }
+
+ private:
+  std::uint64_t delta_;
+  std::vector<std::uint8_t> group_of_;
+};
+
+}  // namespace neatbound::net

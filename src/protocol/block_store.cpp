@@ -1,0 +1,112 @@
+#include "protocol/block_store.hpp"
+
+#include <algorithm>
+
+#include "support/contracts.hpp"
+
+namespace neatbound::protocol {
+
+BlockStore::BlockStore() {
+  Block genesis;
+  genesis.hash = 0;
+  genesis.parent_hash = 0;
+  genesis.parent = kGenesisIndex;
+  genesis.height = 0;
+  genesis.round = 0;
+  genesis.miner_class = MinerClass::kGenesis;
+  blocks_.push_back(std::move(genesis));
+  by_hash_.emplace(0, kGenesisIndex);
+}
+
+const Block& BlockStore::block(BlockIndex index) const {
+  NEATBOUND_EXPECTS(index < blocks_.size(), "block index out of range");
+  return blocks_[index];
+}
+
+BlockIndex BlockStore::add(Block block) {
+  const auto parent_it = by_hash_.find(block.parent_hash);
+  NEATBOUND_EXPECTS(parent_it != by_hash_.end(),
+                    "parent block must exist before its child");
+  NEATBOUND_EXPECTS(by_hash_.find(block.hash) == by_hash_.end(),
+                    "duplicate block hash (oracle collision)");
+  block.parent = parent_it->second;
+  block.height = blocks_[block.parent].height + 1;
+  NEATBOUND_EXPECTS(block.round >= blocks_[block.parent].round,
+                    "child round must not precede parent round");
+  const auto index = static_cast<BlockIndex>(blocks_.size());
+  by_hash_.emplace(block.hash, index);
+  blocks_.push_back(std::move(block));
+  return index;
+}
+
+bool BlockStore::contains_hash(HashValue hash) const noexcept {
+  return by_hash_.find(hash) != by_hash_.end();
+}
+
+BlockIndex BlockStore::index_of(HashValue hash) const {
+  const auto it = by_hash_.find(hash);
+  NEATBOUND_EXPECTS(it != by_hash_.end(), "unknown block hash");
+  return it->second;
+}
+
+BlockIndex BlockStore::ancestor(BlockIndex index, std::uint64_t steps) const {
+  NEATBOUND_EXPECTS(index < blocks_.size(), "block index out of range");
+  BlockIndex cur = index;
+  while (steps > 0 && cur != kGenesisIndex) {
+    cur = blocks_[cur].parent;
+    --steps;
+  }
+  return cur;
+}
+
+BlockIndex BlockStore::common_ancestor(BlockIndex a, BlockIndex b) const {
+  NEATBOUND_EXPECTS(a < blocks_.size() && b < blocks_.size(),
+                    "block index out of range");
+  // Equalize heights, then walk up in lockstep.
+  while (blocks_[a].height > blocks_[b].height) a = blocks_[a].parent;
+  while (blocks_[b].height > blocks_[a].height) b = blocks_[b].parent;
+  while (a != b) {
+    a = blocks_[a].parent;
+    b = blocks_[b].parent;
+  }
+  return a;
+}
+
+std::uint64_t BlockStore::common_prefix_height(BlockIndex a,
+                                               BlockIndex b) const {
+  return blocks_[common_ancestor(a, b)].height;
+}
+
+bool BlockStore::is_ancestor(BlockIndex ancestor_candidate,
+                             BlockIndex descendant) const {
+  NEATBOUND_EXPECTS(
+      ancestor_candidate < blocks_.size() && descendant < blocks_.size(),
+      "block index out of range");
+  BlockIndex cur = descendant;
+  const std::uint64_t target_height = blocks_[ancestor_candidate].height;
+  while (blocks_[cur].height > target_height) cur = blocks_[cur].parent;
+  return cur == ancestor_candidate;
+}
+
+std::vector<BlockIndex> BlockStore::chain_to(BlockIndex tip) const {
+  NEATBOUND_EXPECTS(tip < blocks_.size(), "block index out of range");
+  std::vector<BlockIndex> chain;
+  chain.reserve(blocks_[tip].height + 1);
+  for (BlockIndex cur = tip;; cur = blocks_[cur].parent) {
+    chain.push_back(cur);
+    if (cur == kGenesisIndex) break;
+  }
+  std::reverse(chain.begin(), chain.end());
+  return chain;
+}
+
+std::vector<std::string> BlockStore::extract_messages(BlockIndex tip) const {
+  std::vector<std::string> messages;
+  for (const BlockIndex index : chain_to(tip)) {
+    const Block& b = blocks_[index];
+    if (!b.message.empty()) messages.push_back(b.message);
+  }
+  return messages;
+}
+
+}  // namespace neatbound::protocol

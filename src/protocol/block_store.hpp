@@ -1,0 +1,72 @@
+// Append-only block tree shared by the whole execution.
+//
+// Every mined block (honest or adversarial, published or withheld) lives
+// here exactly once; per-miner *views* are subsets of indices (src/sim).
+// The store maintains parent links and heights and answers ancestry /
+// common-prefix queries, which is all the longest-chain rule needs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "protocol/block.hpp"
+
+namespace neatbound::protocol {
+
+class BlockStore {
+ public:
+  /// Creates the store holding only the genesis block (hash 0, height 0).
+  BlockStore();
+
+  /// Number of blocks including genesis.
+  [[nodiscard]] std::size_t size() const noexcept { return blocks_.size(); }
+
+  [[nodiscard]] const Block& block(BlockIndex index) const;
+
+  /// Appends a block whose parent must already exist; fills in height and
+  /// parent index, and indexes the hash.  Returns the new block's index.
+  /// Duplicate hashes are a contract violation (the oracle is collision-
+  /// free at the scales simulated).
+  BlockIndex add(Block block);
+
+  /// Looks up a block by hash; returns nullptr-like sentinel via found flag.
+  [[nodiscard]] bool contains_hash(HashValue hash) const noexcept;
+  [[nodiscard]] BlockIndex index_of(HashValue hash) const;
+
+  [[nodiscard]] std::uint64_t height_of(BlockIndex index) const {
+    return block(index).height;
+  }
+
+  /// Walks up from `index` by `steps` parent links (clamping at genesis).
+  [[nodiscard]] BlockIndex ancestor(BlockIndex index,
+                                    std::uint64_t steps) const;
+
+  /// The deepest common ancestor of two blocks.
+  [[nodiscard]] BlockIndex common_ancestor(BlockIndex a, BlockIndex b) const;
+
+  /// Height of the deepest common ancestor — the "agreement depth" used by
+  /// consistency metrics.
+  [[nodiscard]] std::uint64_t common_prefix_height(BlockIndex a,
+                                                   BlockIndex b) const;
+
+  /// True iff `ancestor_candidate` is on the path from `descendant` to
+  /// genesis (inclusive).
+  [[nodiscard]] bool is_ancestor(BlockIndex ancestor_candidate,
+                                 BlockIndex descendant) const;
+
+  /// The chain from genesis to `tip`, genesis first.
+  [[nodiscard]] std::vector<BlockIndex> chain_to(BlockIndex tip) const;
+
+  /// ext(κ, C): the ordered sequence of (non-empty) messages along the
+  /// chain to `tip`, genesis first (Section III's output algorithm).
+  [[nodiscard]] std::vector<std::string> extract_messages(
+      BlockIndex tip) const;
+
+ private:
+  std::vector<Block> blocks_;
+  std::unordered_map<HashValue, BlockIndex> by_hash_;
+};
+
+}  // namespace neatbound::protocol

@@ -1,0 +1,19 @@
+#include "protocol/mining.hpp"
+
+namespace neatbound::protocol {
+
+std::optional<Block> try_mine(const RandomOracle& oracle,
+                              const PowTarget& target, HashValue parent_hash,
+                              std::uint64_t payload_digest, Rng& rng) {
+  const std::uint64_t nonce = rng.bits();
+  const HashValue hash = oracle.query(parent_hash, nonce, payload_digest);
+  if (!target.satisfied_by(hash)) return std::nullopt;
+  Block block;
+  block.hash = hash;
+  block.parent_hash = parent_hash;
+  block.nonce = nonce;
+  block.payload_digest = payload_digest;
+  return block;
+}
+
+}  // namespace neatbound::protocol

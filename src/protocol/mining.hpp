@@ -1,0 +1,26 @@
+// Mining: one oracle query per honest miner per round; νn sequential
+// queries for the adversary (Section III's access discipline).
+#pragma once
+
+#include <optional>
+
+#include "protocol/block.hpp"
+#include "protocol/hash.hpp"
+#include "support/rng.hpp"
+
+namespace neatbound::protocol {
+
+/// Attempts a single proof-of-work query: draws a fresh nonce η, computes
+/// H(parent_hash, η, payload_digest) and succeeds iff it meets the target.
+/// Returns the assembled block on success (miner/class/round/message are
+/// filled by the caller), nullopt on failure.
+///
+/// The success probability equals PowTarget::probability() exactly, since
+/// the oracle output is uniform over 64-bit values for fresh nonces.
+[[nodiscard]] std::optional<Block> try_mine(const RandomOracle& oracle,
+                                            const PowTarget& target,
+                                            HashValue parent_hash,
+                                            std::uint64_t payload_digest,
+                                            Rng& rng);
+
+}  // namespace neatbound::protocol

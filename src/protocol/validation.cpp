@@ -1,0 +1,36 @@
+#include "protocol/validation.hpp"
+
+namespace neatbound::protocol {
+
+ValidationReport validate_chain(const BlockStore& store, BlockIndex tip,
+                                const RandomOracle& oracle,
+                                const PowTarget& target) {
+  const auto chain = store.chain_to(tip);
+  for (std::size_t i = 1; i < chain.size(); ++i) {
+    const Block& b = store.block(chain[i]);
+    const Block& parent = store.block(chain[i - 1]);
+    if (b.parent_hash != parent.hash) {
+      return ValidationReport::fail("hash linkage broken at height " +
+                                    std::to_string(b.height));
+    }
+    if (b.height != parent.height + 1) {
+      return ValidationReport::fail("height not incremented at height " +
+                                    std::to_string(b.height));
+    }
+    if (b.round < parent.round) {
+      return ValidationReport::fail("round precedes parent at height " +
+                                    std::to_string(b.height));
+    }
+    if (!oracle.verify(b.parent_hash, b.nonce, b.payload_digest, b.hash)) {
+      return ValidationReport::fail("H.ver failed at height " +
+                                    std::to_string(b.height));
+    }
+    if (!target.satisfied_by(b.hash)) {
+      return ValidationReport::fail("proof of work misses target at height " +
+                                    std::to_string(b.height));
+    }
+  }
+  return ValidationReport::ok();
+}
+
+}  // namespace neatbound::protocol

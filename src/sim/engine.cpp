@@ -1,0 +1,238 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "chains/convergence.hpp"
+#include "protocol/mining.hpp"
+#include "support/contracts.hpp"
+
+namespace neatbound::sim {
+
+namespace {
+std::uint32_t corrupted_count(const EngineConfig& config) {
+  return static_cast<std::uint32_t>(std::llround(
+      config.adversary_fraction * static_cast<double>(config.miner_count)));
+}
+}  // namespace
+
+/// AdversaryOps backed by the engine.  Lives only during act().
+class ExecutionEngine::Ops final : public AdversaryOps {
+ public:
+  Ops(ExecutionEngine& engine, std::uint64_t round, std::uint64_t budget)
+      : engine_(engine), round_(round), remaining_(budget) {}
+
+  [[nodiscard]] const protocol::BlockStore& store() const override {
+    return engine_.store_;
+  }
+  [[nodiscard]] std::uint64_t round() const override { return round_; }
+  [[nodiscard]] std::uint64_t delta() const override {
+    return engine_.config_.delta;
+  }
+  [[nodiscard]] std::uint32_t honest_count() const override {
+    return engine_.honest_count_;
+  }
+  [[nodiscard]] std::span<const protocol::BlockIndex> honest_tips()
+      const override {
+    return engine_.tips_scratch_;
+  }
+  [[nodiscard]] protocol::BlockIndex best_honest_tip() const override {
+    return engine_.best_honest_tip();
+  }
+  [[nodiscard]] std::uint64_t remaining_queries() const override {
+    return remaining_;
+  }
+
+  std::optional<protocol::BlockIndex> try_mine_on(
+      protocol::BlockIndex parent) override {
+    NEATBOUND_EXPECTS(remaining_ > 0, "adversary query budget exhausted");
+    --remaining_;
+    const protocol::Block& parent_block = engine_.store_.block(parent);
+    auto mined = protocol::try_mine(
+        engine_.oracle_, engine_.target_, parent_block.hash,
+        mix64(++engine_.payload_counter_), engine_.rng_);
+    if (!mined) return std::nullopt;
+    mined->round = round_;
+    mined->miner_class = protocol::MinerClass::kAdversary;
+    mined->miner = engine_.honest_count_;  // corrupted ids share one bucket
+    ++engine_.adversary_blocks_total_;
+    return engine_.store_.add(std::move(*mined));
+  }
+
+  void publish_to(std::uint32_t recipient, protocol::BlockIndex block,
+                  std::uint64_t delay) override {
+    NEATBOUND_EXPECTS(recipient < engine_.honest_count_,
+                      "recipient out of range");
+    const std::uint64_t d = engine_.clamp_delay(delay);
+    engine_.queue_.schedule(round_ + d, recipient, block);
+    engine_.schedule_echo(round_ + d, block);
+  }
+
+  void publish_to_all(protocol::BlockIndex block,
+                      std::uint64_t delay) override {
+    const std::uint64_t d = engine_.clamp_delay(delay);
+    for (std::uint32_t r = 0; r < engine_.honest_count_; ++r) {
+      engine_.queue_.schedule(round_ + d, r, block);
+    }
+    engine_.schedule_echo(round_ + d, block);
+  }
+
+ private:
+  ExecutionEngine& engine_;
+  std::uint64_t round_;
+  std::uint64_t remaining_;
+};
+
+ExecutionEngine::ExecutionEngine(EngineConfig config,
+                                 std::unique_ptr<Adversary> adversary)
+    : ExecutionEngine(config, std::move(adversary), nullptr) {}
+
+ExecutionEngine::ExecutionEngine(EngineConfig config,
+                                 std::unique_ptr<Adversary> adversary,
+                                 std::unique_ptr<Environment> environment)
+    : config_(config),
+      honest_count_(config.miner_count - corrupted_count(config)),
+      adversary_queries_(corrupted_count(config)),
+      oracle_(mix64(config.seed ^ 0x5bd1e995u)),
+      target_(protocol::PowTarget::from_probability(config.p)),
+      queue_(config.miner_count),
+      adversary_(std::move(adversary)),
+      environment_(std::move(environment)),
+      rng_(mix64(config.seed)) {
+  NEATBOUND_EXPECTS(config.miner_count >= 4,
+                    "the paper's condition (3): n >= 4");
+  NEATBOUND_EXPECTS(config.adversary_fraction >= 0.0 &&
+                        config.adversary_fraction < 0.5,
+                    "adversary fraction must be in [0, 1/2)");
+  NEATBOUND_EXPECTS(config.delta >= 1, "delta must be >= 1");
+  NEATBOUND_EXPECTS(config.rounds >= 1, "rounds must be >= 1");
+  NEATBOUND_EXPECTS(adversary_ != nullptr, "an adversary is required");
+  NEATBOUND_EXPECTS(honest_count_ >= 1, "at least one honest miner needed");
+  views_.resize(honest_count_);
+  tips_scratch_.resize(honest_count_, protocol::kGenesisIndex);
+}
+
+ExecutionEngine::~ExecutionEngine() = default;
+
+protocol::BlockIndex ExecutionEngine::honest_tip(std::uint32_t miner) const {
+  NEATBOUND_EXPECTS(miner < honest_count_, "miner id out of range");
+  return views_[miner].tip();
+}
+
+protocol::BlockIndex ExecutionEngine::best_honest_tip() const {
+  protocol::BlockIndex best = views_[0].tip();
+  for (const MinerView& view : views_) {
+    if (store_.height_of(view.tip()) > store_.height_of(best)) {
+      best = view.tip();
+    }
+  }
+  return best;
+}
+
+std::uint64_t ExecutionEngine::clamp_delay(std::uint64_t d) const noexcept {
+  return std::clamp<std::uint64_t>(d, 1, config_.delta);
+}
+
+void ExecutionEngine::schedule_echo(std::uint64_t first_receipt_round,
+                                    protocol::BlockIndex block) {
+  if (echoed_.size() <= block) echoed_.resize(block + 1, false);
+  if (echoed_[block]) return;
+  echoed_[block] = true;
+  for (std::uint32_t r = 0; r < honest_count_; ++r) {
+    queue_.schedule(first_receipt_round + config_.delta, r, block);
+  }
+}
+
+void ExecutionEngine::deliver_due(std::uint64_t round) {
+  for (const net::Delivery& d : queue_.collect_due(round)) {
+    const AdoptionEvent event = views_[d.recipient].deliver(d.block, store_);
+    if (event.adopted && event.reorg_depth > 0) {
+      consistency_.observe_reorg(event.reorg_depth);
+    }
+  }
+}
+
+void ExecutionEngine::broadcast_honest(std::uint64_t round,
+                                       std::uint32_t sender,
+                                       protocol::BlockIndex block) {
+  for (std::uint32_t r = 0; r < honest_count_; ++r) {
+    if (r == sender) continue;
+    const std::uint64_t d =
+        clamp_delay(adversary_->honest_delay(round, sender, r, block));
+    queue_.schedule(round + d, r, block);
+  }
+  // The sender itself received the block at `round`; gossip echo from that
+  // first receipt (a no-op here since every recipient is already
+  // scheduled within Δ, but it keeps the invariant uniform).
+  if (echoed_.size() <= block) echoed_.resize(block + 1, false);
+  echoed_[block] = true;
+}
+
+void ExecutionEngine::honest_mining_phase(std::uint64_t round) {
+  std::uint32_t mined_this_round = 0;
+  for (std::uint32_t m = 0; m < honest_count_; ++m) {
+    const protocol::BlockIndex parent = views_[m].tip();
+    auto mined =
+        protocol::try_mine(oracle_, target_, store_.block(parent).hash,
+                           mix64(++payload_counter_), rng_);
+    if (!mined) continue;
+    mined->round = round;
+    mined->miner = m;
+    mined->miner_class = protocol::MinerClass::kHonest;
+    if (environment_ != nullptr) {
+      mined->message = environment_->message_for(round, m);
+    }
+    const protocol::BlockIndex index = store_.add(std::move(*mined));
+    ++mined_this_round;
+    // The miner adopts its own block immediately (it extends its tip).
+    const AdoptionEvent event = views_[m].deliver(index, store_);
+    if (event.adopted && event.reorg_depth > 0) {
+      consistency_.observe_reorg(event.reorg_depth);
+    }
+    adversary_->on_honest_block(round, index);
+    broadcast_honest(round, m, index);
+  }
+  honest_counts_.push_back(mined_this_round);
+}
+
+RunResult ExecutionEngine::run(const RoundObserver& observer) {
+  NEATBOUND_EXPECTS(!ran_, "run() may be called once");
+  ran_ = true;
+  honest_counts_.reserve(config_.rounds);
+
+  for (std::uint64_t round = 1; round <= config_.rounds; ++round) {
+    deliver_due(round);
+    honest_mining_phase(round);
+    // Refresh the tip snapshot the adversary (and metrics) observe.
+    for (std::uint32_t m = 0; m < honest_count_; ++m) {
+      tips_scratch_[m] = views_[m].tip();
+    }
+    if (adversary_queries_ > 0) {
+      Ops ops(*this, round, adversary_queries_);
+      adversary_->act(ops);
+      // Publication may not change views until delivery, so the snapshot
+      // taken above remains valid for metrics.
+    }
+    consistency_.observe_round(tips_scratch_, store_);
+    if (observer) observer(*this, round);
+  }
+
+  RunResult result;
+  result.honest_counts = honest_counts_;
+  result.honest_blocks_total = 0;
+  for (const std::uint32_t c : honest_counts_) {
+    result.honest_blocks_total += c;
+  }
+  result.adversary_blocks_total = adversary_blocks_total_;
+  result.convergence_opportunities =
+      chains::count_convergence_opportunities(honest_counts_, config_.delta);
+  result.max_reorg_depth = consistency_.max_reorg_depth();
+  result.max_divergence = consistency_.max_divergence();
+  result.disagreement_rounds = consistency_.disagreement_rounds();
+  result.violation_depth = consistency_.violation_depth();
+  result.chain = measure_chain(store_, best_honest_tip(), config_.rounds);
+  result.store_size = store_.size();
+  return result;
+}
+
+}  // namespace neatbound::sim

@@ -1,0 +1,133 @@
+// The round-based execution engine of Section III.
+//
+// Per round, in order:
+//   1. due messages are delivered; honest players update their chains
+//      (longest-chain rule);
+//   2. every honest player makes exactly one parallel oracle query on its
+//      current tip; freshly mined blocks are broadcast, with per-recipient
+//      delays chosen by the adversary within [1, Δ];
+//   3. the adversary (who observed everything, including this round's
+//      honest blocks — it is rushing) takes its turn: up to νn sequential
+//      queries on parents of its choice, plus publications;
+//   4. metrics are recorded.
+//
+// Gossip echo: the first time a block reaches *any* honest player (round
+// r₀), the engine schedules its delivery to every other honest player by
+// r₀ + Δ.  This models honest re-broadcast, whose messages the adversary
+// can again delay by at most Δ — without it, "delay ≤ Δ" would be
+// meaningless for adversary-mined blocks sent to a single victim.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "net/delivery.hpp"
+#include "protocol/block_store.hpp"
+#include "protocol/hash.hpp"
+#include "sim/adversary.hpp"
+#include "sim/environment.hpp"
+#include "sim/metrics.hpp"
+#include "sim/miner_view.hpp"
+#include "support/rng.hpp"
+
+namespace neatbound::sim {
+
+struct EngineConfig {
+  std::uint32_t miner_count = 16;      ///< n (honest + corrupted)
+  double adversary_fraction = 0.0;     ///< ν; corrupted count = round(νn)
+  double p = 0.01;                     ///< proof-of-work hardness
+  std::uint64_t delta = 1;             ///< Δ, max message delay in rounds
+  std::uint64_t rounds = 1000;         ///< T, rounds to execute
+  std::uint64_t seed = 1;              ///< master seed (oracle + mining)
+};
+
+struct RunResult {
+  std::vector<std::uint32_t> honest_counts;  ///< blocks honest miners mined, per round
+  std::uint64_t honest_blocks_total = 0;
+  std::uint64_t adversary_blocks_total = 0;  ///< mined (published or not)
+  std::uint64_t convergence_opportunities = 0;
+  std::uint64_t max_reorg_depth = 0;
+  std::uint64_t max_divergence = 0;
+  std::uint64_t disagreement_rounds = 0;
+  std::uint64_t violation_depth = 0;
+  ChainMetrics chain;
+  std::uint64_t store_size = 0;  ///< all blocks ever mined (incl. genesis)
+};
+
+class ExecutionEngine {
+ public:
+  ExecutionEngine(EngineConfig config, std::unique_ptr<Adversary> adversary);
+  /// With an environment, honest blocks embed Z's messages and the final
+  /// ledgers (ext of each honest tip) become meaningful.
+  ExecutionEngine(EngineConfig config, std::unique_ptr<Adversary> adversary,
+                  std::unique_ptr<Environment> environment);
+  ~ExecutionEngine();
+
+  ExecutionEngine(const ExecutionEngine&) = delete;
+  ExecutionEngine& operator=(const ExecutionEngine&) = delete;
+
+  /// Called at the end of every round with the engine (read-only view of
+  /// store/tips) and the just-finished round number.
+  using RoundObserver =
+      std::function<void(const ExecutionEngine&, std::uint64_t round)>;
+
+  /// Runs the configured number of rounds and returns the metrics.
+  /// May be called once per engine instance.  The optional observer fires
+  /// after each round's deliveries, mining and adversary turn.
+  [[nodiscard]] RunResult run(const RoundObserver& observer = {});
+
+  // --- read-only access for tests / examples after run() ---
+  [[nodiscard]] const protocol::BlockStore& store() const noexcept {
+    return store_;
+  }
+  [[nodiscard]] const protocol::RandomOracle& oracle() const noexcept {
+    return oracle_;
+  }
+  [[nodiscard]] const protocol::PowTarget& target() const noexcept {
+    return target_;
+  }
+  [[nodiscard]] std::uint32_t honest_count() const noexcept {
+    return honest_count_;
+  }
+  [[nodiscard]] protocol::BlockIndex honest_tip(std::uint32_t miner) const;
+  [[nodiscard]] protocol::BlockIndex best_honest_tip() const;
+  /// Current tips of all honest miners (valid after run()).
+  [[nodiscard]] std::span<const protocol::BlockIndex> honest_tips() const {
+    return tips_scratch_;
+  }
+
+ private:
+  class Ops;  // AdversaryOps implementation
+
+  void deliver_due(std::uint64_t round);
+  void honest_mining_phase(std::uint64_t round);
+  void broadcast_honest(std::uint64_t round, std::uint32_t sender,
+                        protocol::BlockIndex block);
+  /// First-honest-receipt gossip echo (see file comment).
+  void schedule_echo(std::uint64_t first_receipt_round,
+                     protocol::BlockIndex block);
+  [[nodiscard]] std::uint64_t clamp_delay(std::uint64_t d) const noexcept;
+
+  EngineConfig config_;
+  std::uint32_t honest_count_;
+  std::uint32_t adversary_queries_;
+  protocol::RandomOracle oracle_;
+  protocol::PowTarget target_;
+  protocol::BlockStore store_;
+  net::DeliveryQueue queue_;
+  std::vector<MinerView> views_;
+  std::unique_ptr<Adversary> adversary_;
+  std::unique_ptr<Environment> environment_;
+  Rng rng_;
+  ConsistencyTracker consistency_;
+  std::vector<std::uint32_t> honest_counts_;
+  std::uint64_t adversary_blocks_total_ = 0;
+  std::uint64_t payload_counter_ = 0;
+  std::vector<protocol::BlockIndex> tips_scratch_;
+  std::vector<bool> echoed_;  ///< per block: gossip echo already scheduled
+  bool ran_ = false;
+};
+
+}  // namespace neatbound::sim

@@ -1,0 +1,37 @@
+// The environment Z(1^κ) of Section III: it hands each miner a message
+// (a batch of transactions) to include in the block it tries to publish.
+// The ledger read out of a chain via ext(κ, C) is the ordered sequence of
+// those messages — consistency of the *ledger* is the property users of
+// the protocol actually care about.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace neatbound::sim {
+
+/// Supplies the message a miner would embed in a block this round.
+class Environment {
+ public:
+  virtual ~Environment() = default;
+  /// Message for `miner` at `round`; may be empty (no pending payload).
+  [[nodiscard]] virtual std::string message_for(std::uint64_t round,
+                                                std::uint32_t miner) = 0;
+};
+
+/// Environment producing a deterministic transaction batch per (round,
+/// miner): "tx@<round>#<miner>/<seq>" — unique, human-readable, and
+/// checkable by the ledger-agreement metric.
+class SequentialTransactionEnvironment final : public Environment {
+ public:
+  [[nodiscard]] std::string message_for(std::uint64_t round,
+                                        std::uint32_t miner) override {
+    return "tx@" + std::to_string(round) + "#" + std::to_string(miner) +
+           "/" + std::to_string(sequence_++);
+  }
+
+ private:
+  std::uint64_t sequence_ = 0;
+};
+
+}  // namespace neatbound::sim

@@ -1,0 +1,136 @@
+#include "sim/metrics.hpp"
+
+#include <algorithm>
+
+namespace neatbound::sim {
+
+void ConsistencyTracker::observe_reorg(std::uint64_t depth) noexcept {
+  max_reorg_depth_ = std::max(max_reorg_depth_, depth);
+}
+
+void ConsistencyTracker::observe_round(
+    std::span<const protocol::BlockIndex> tips,
+    const protocol::BlockStore& store) {
+  // Deduplicate tips first: miners overwhelmingly share views, so the
+  // pairwise pass below runs on a handful of distinct values.
+  scratch_.assign(tips.begin(), tips.end());
+  std::sort(scratch_.begin(), scratch_.end());
+  scratch_.erase(std::unique(scratch_.begin(), scratch_.end()),
+                 scratch_.end());
+  if (scratch_.size() < 2) return;
+  ++disagreement_rounds_;
+  for (std::size_t i = 0; i < scratch_.size(); ++i) {
+    for (std::size_t j = i + 1; j < scratch_.size(); ++j) {
+      const std::uint64_t common =
+          store.common_prefix_height(scratch_[i], scratch_[j]);
+      const std::uint64_t deeper = std::max(store.height_of(scratch_[i]),
+                                            store.height_of(scratch_[j]));
+      max_divergence_ = std::max(max_divergence_, deeper - common);
+    }
+  }
+}
+
+ChainMetrics measure_chain(const protocol::BlockStore& store,
+                           protocol::BlockIndex best_tip,
+                           std::uint64_t rounds) {
+  ChainMetrics metrics;
+  metrics.best_height = store.height_of(best_tip);
+  metrics.growth_per_round =
+      rounds == 0 ? 0.0
+                  : static_cast<double>(metrics.best_height) /
+                        static_cast<double>(rounds);
+  for (const protocol::BlockIndex index : store.chain_to(best_tip)) {
+    switch (store.block(index).miner_class) {
+      case protocol::MinerClass::kGenesis:
+        break;
+      case protocol::MinerClass::kHonest:
+        ++metrics.honest_blocks_in_chain;
+        break;
+      case protocol::MinerClass::kAdversary:
+        ++metrics.adversary_blocks_in_chain;
+        break;
+    }
+  }
+  const std::uint64_t total =
+      metrics.honest_blocks_in_chain + metrics.adversary_blocks_in_chain;
+  metrics.quality =
+      total == 0 ? 1.0
+                 : static_cast<double>(metrics.honest_blocks_in_chain) /
+                       static_cast<double>(total);
+  return metrics;
+}
+
+DagMetrics measure_dag(const protocol::BlockStore& store,
+                       protocol::BlockIndex best_tip) {
+  DagMetrics metrics;
+  if (store.size() <= 1) return metrics;
+  metrics.total_blocks = store.size() - 1;
+
+  std::vector<std::uint64_t> width;  // blocks per height (excl. genesis)
+  std::uint64_t honest_total = 0;
+  for (protocol::BlockIndex i = 1;
+       i < static_cast<protocol::BlockIndex>(store.size()); ++i) {
+    const auto& b = store.block(i);
+    metrics.max_height = std::max(metrics.max_height, b.height);
+    if (width.size() < b.height) width.resize(b.height, 0);
+    ++width[b.height - 1];
+    if (b.miner_class == protocol::MinerClass::kHonest) ++honest_total;
+  }
+  for (const std::uint64_t w : width) {
+    if (w >= 2) ++metrics.fork_heights;
+    metrics.max_width = std::max(metrics.max_width, w);
+  }
+  // Honest blocks not on the best chain.
+  std::vector<bool> on_chain(store.size(), false);
+  for (const protocol::BlockIndex i : store.chain_to(best_tip)) {
+    on_chain[i] = true;
+  }
+  for (protocol::BlockIndex i = 1;
+       i < static_cast<protocol::BlockIndex>(store.size()); ++i) {
+    if (!on_chain[i] &&
+        store.block(i).miner_class == protocol::MinerClass::kHonest) {
+      ++metrics.honest_off_chain;
+    }
+  }
+  metrics.orphan_rate =
+      honest_total == 0
+          ? 0.0
+          : static_cast<double>(metrics.honest_off_chain) /
+                static_cast<double>(honest_total);
+  return metrics;
+}
+
+LedgerAgreement measure_ledger_agreement(
+    const protocol::BlockStore& store,
+    std::span<const protocol::BlockIndex> tips) {
+  LedgerAgreement agreement;
+  if (tips.empty()) return agreement;
+
+  // Deduplicate tips, then extract each distinct ledger once.
+  std::vector<protocol::BlockIndex> unique(tips.begin(), tips.end());
+  std::sort(unique.begin(), unique.end());
+  unique.erase(std::unique(unique.begin(), unique.end()), unique.end());
+
+  std::vector<std::vector<std::string>> ledgers;
+  ledgers.reserve(unique.size());
+  for (const protocol::BlockIndex tip : unique) {
+    ledgers.push_back(store.extract_messages(tip));
+  }
+  std::size_t common = ledgers[0].size();
+  for (const auto& ledger : ledgers) {
+    agreement.max_length = std::max(agreement.max_length, ledger.size());
+  }
+  for (std::size_t i = 1; i < ledgers.size(); ++i) {
+    std::size_t shared = 0;
+    const std::size_t limit = std::min(ledgers[0].size(), ledgers[i].size());
+    while (shared < limit && ledgers[0][shared] == ledgers[i][shared]) {
+      ++shared;
+    }
+    common = std::min(common, shared);
+  }
+  agreement.common_prefix = common;
+  agreement.suffix_disagreement = agreement.max_length - common;
+  return agreement;
+}
+
+}  // namespace neatbound::sim

@@ -1,0 +1,63 @@
+#include "sim/miner_view.hpp"
+
+#include <algorithm>
+
+#include "support/contracts.hpp"
+
+namespace neatbound::sim {
+
+MinerView::MinerView() : tip_(protocol::kGenesisIndex) {
+  known_.resize(1, true);  // genesis
+}
+
+bool MinerView::knows(protocol::BlockIndex block) const noexcept {
+  return block < known_.size() && known_[block];
+}
+
+AdoptionEvent MinerView::deliver(protocol::BlockIndex block,
+                                 const protocol::BlockStore& store) {
+  AdoptionEvent event;
+  if (knows(block)) return event;  // duplicate delivery (echo), ignore
+  const protocol::BlockIndex parent = store.block(block).parent;
+  if (!knows(parent)) {
+    waiting_on_[parent].push_back(block);
+    return event;
+  }
+  activate_ready(block, store, event);
+  return event;
+}
+
+void MinerView::activate_ready(protocol::BlockIndex block,
+                               const protocol::BlockStore& store,
+                               AdoptionEvent& event) {
+  // Iterative activation: mark known, adopt if longer, then wake orphans.
+  std::vector<protocol::BlockIndex> stack{block};
+  while (!stack.empty()) {
+    const protocol::BlockIndex current = stack.back();
+    stack.pop_back();
+    if (known_.size() <= current) known_.resize(current + 1, false);
+    if (known_[current]) continue;
+    known_[current] = true;
+    consider_tip(current, store, event);
+    const auto it = waiting_on_.find(current);
+    if (it != waiting_on_.end()) {
+      stack.insert(stack.end(), it->second.begin(), it->second.end());
+      waiting_on_.erase(it);
+    }
+  }
+}
+
+void MinerView::consider_tip(protocol::BlockIndex candidate,
+                             const protocol::BlockStore& store,
+                             AdoptionEvent& event) {
+  // Longest-chain rule; strict inequality implements first-received
+  // tie-breaking (an equally long chain never displaces the current tip).
+  if (store.height_of(candidate) <= store.height_of(tip_)) return;
+  const std::uint64_t common = store.common_prefix_height(candidate, tip_);
+  const std::uint64_t abandoned = store.height_of(tip_) - common;
+  event.adopted = true;
+  event.reorg_depth = std::max(event.reorg_depth, abandoned);
+  tip_ = candidate;
+}
+
+}  // namespace neatbound::sim

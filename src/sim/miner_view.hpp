@@ -1,0 +1,59 @@
+// Per-miner view of the block tree and the longest-chain rule.
+//
+// Each honest player only "knows" the blocks that have been delivered to
+// it (plus blocks it mined itself).  It adopts the longest known chain,
+// breaking ties in favour of the first-received chain — Nakamoto's rule.
+// Because the adversary may reorder messages, a block can arrive before
+// its parent; such orphans are buffered and activated once their ancestry
+// is complete (an honest player cannot validate, let alone mine on, a
+// block whose chain it cannot see).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "protocol/block_store.hpp"
+
+namespace neatbound::sim {
+
+/// Outcome of delivering one block to a view.
+struct AdoptionEvent {
+  bool adopted = false;       ///< tip changed
+  std::uint64_t reorg_depth = 0;  ///< blocks abandoned from the old tip
+};
+
+class MinerView {
+ public:
+  /// A fresh view knows only genesis.
+  MinerView();
+
+  [[nodiscard]] protocol::BlockIndex tip() const noexcept { return tip_; }
+
+  [[nodiscard]] bool knows(protocol::BlockIndex block) const noexcept;
+
+  /// Delivers `block`; activates it (and any waiting descendants) if its
+  /// ancestry is known, applying the longest-chain rule.  Returns the
+  /// deepest reorg performed during activation (0 when the tip just
+  /// extends or does not change).
+  AdoptionEvent deliver(protocol::BlockIndex block,
+                        const protocol::BlockStore& store);
+
+ private:
+  /// Marks `block` known, then repeatedly activates buffered orphans
+  /// whose parents became known.
+  void activate_ready(protocol::BlockIndex block,
+                      const protocol::BlockStore& store,
+                      AdoptionEvent& event);
+  void consider_tip(protocol::BlockIndex candidate,
+                    const protocol::BlockStore& store, AdoptionEvent& event);
+
+  protocol::BlockIndex tip_;
+  std::vector<bool> known_;  ///< indexed by BlockIndex, grown lazily
+  // Orphans waiting for a parent: parent index -> children delivered early.
+  std::unordered_map<protocol::BlockIndex,
+                     std::vector<protocol::BlockIndex>>
+      waiting_on_;
+};
+
+}  // namespace neatbound::sim

@@ -1,0 +1,100 @@
+#include "sim/runner.hpp"
+
+#include <atomic>
+#include <cmath>
+#include <thread>
+
+namespace neatbound::sim {
+
+namespace {
+/// Folds one run's metrics into the summary (shared by all runner paths
+/// so serial and parallel aggregation cannot drift apart).
+void accumulate(ExperimentSummary& summary, const RunResult& result,
+                std::uint64_t violation_t) {
+  summary.convergence_opportunities.add(
+      static_cast<double>(result.convergence_opportunities));
+  summary.adversary_blocks.add(
+      static_cast<double>(result.adversary_blocks_total));
+  summary.honest_blocks.add(static_cast<double>(result.honest_blocks_total));
+  summary.violation_depth.add(static_cast<double>(result.violation_depth));
+  summary.max_reorg_depth.add(static_cast<double>(result.max_reorg_depth));
+  summary.max_divergence.add(static_cast<double>(result.max_divergence));
+  summary.disagreement_rounds.add(
+      static_cast<double>(result.disagreement_rounds));
+  summary.chain_growth.add(result.chain.growth_per_round);
+  summary.chain_quality.add(result.chain.quality);
+  summary.best_height.add(static_cast<double>(result.chain.best_height));
+  summary.violation_exceeds_t.add(
+      result.violation_depth > violation_t ? 1.0 : 0.0);
+}
+
+std::unique_ptr<Adversary> default_adversary(AdversaryKind kind,
+                                             const EngineConfig& engine_config) {
+  const auto corrupted = static_cast<std::uint32_t>(
+      std::llround(engine_config.adversary_fraction *
+                   static_cast<double>(engine_config.miner_count)));
+  return make_adversary(kind, engine_config.miner_count - corrupted,
+                        engine_config.delta);
+}
+}  // namespace
+
+ExperimentSummary run_experiment_with(
+    const ExperimentConfig& config, std::uint64_t violation_t,
+    const std::function<std::unique_ptr<Adversary>(const EngineConfig&)>&
+        factory) {
+  ExperimentSummary summary;
+  for (std::uint32_t k = 0; k < config.seeds; ++k) {
+    EngineConfig engine_config = config.engine;
+    engine_config.seed = config.base_seed + k;
+    ExecutionEngine engine(engine_config, factory(engine_config));
+    accumulate(summary, engine.run(), violation_t);
+  }
+  return summary;
+}
+
+ExperimentSummary run_experiment(const ExperimentConfig& config,
+                                 std::uint64_t violation_t) {
+  const AdversaryKind kind = config.adversary;
+  return run_experiment_with(config, violation_t,
+                             [kind](const EngineConfig& engine_config) {
+                               return default_adversary(kind, engine_config);
+                             });
+}
+
+ExperimentSummary run_experiment_parallel(const ExperimentConfig& config,
+                                          std::uint64_t violation_t,
+                                          unsigned threads) {
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  threads = std::min<unsigned>(threads, config.seeds);
+  if (threads <= 1) return run_experiment(config, violation_t);
+
+  const AdversaryKind kind = config.adversary;
+  std::vector<RunResult> results(config.seeds);
+  std::atomic<std::uint32_t> next_seed{0};
+  auto worker = [&]() {
+    for (;;) {
+      const std::uint32_t k = next_seed.fetch_add(1);
+      if (k >= config.seeds) return;
+      EngineConfig engine_config = config.engine;
+      engine_config.seed = config.base_seed + k;
+      ExecutionEngine engine(engine_config,
+                             default_adversary(kind, engine_config));
+      results[k] = engine.run();
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+
+  // Sequential, seed-ordered aggregation: identical to the serial path.
+  ExperimentSummary summary;
+  for (const RunResult& result : results) {
+    accumulate(summary, result, violation_t);
+  }
+  return summary;
+}
+
+}  // namespace neatbound::sim

@@ -1,0 +1,63 @@
+// Multi-seed experiment runner: repeats an execution-engine configuration
+// across independent seeds and aggregates every metric with streaming
+// statistics, so bench harnesses report mean ± stderr rather than
+// single-run noise.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "sim/engine.hpp"
+#include "sim/strategies.hpp"
+#include "stats/summary.hpp"
+
+namespace neatbound::sim {
+
+struct ExperimentConfig {
+  EngineConfig engine;
+  AdversaryKind adversary = AdversaryKind::kMaxDelay;
+  std::uint32_t seeds = 8;          ///< independent repetitions
+  std::uint64_t base_seed = 12345;  ///< seed for repetition k is base+k
+};
+
+/// Aggregated across seeds; each field is a RunningStats over per-run values.
+struct ExperimentSummary {
+  stats::RunningStats convergence_opportunities;
+  stats::RunningStats adversary_blocks;
+  stats::RunningStats honest_blocks;
+  stats::RunningStats violation_depth;
+  stats::RunningStats max_reorg_depth;
+  stats::RunningStats max_divergence;
+  stats::RunningStats disagreement_rounds;
+  stats::RunningStats chain_growth;
+  stats::RunningStats chain_quality;
+  stats::RunningStats best_height;
+  /// Fraction of runs whose violation depth exceeded a caller-set T
+  /// (see ExperimentConfig-independent helper below); stored as 0/1 values.
+  stats::RunningStats violation_exceeds_t;
+};
+
+/// Runs `config.seeds` executions.  `violation_t` parameterizes the
+/// consistency predicate: a run "violates T-consistency" iff its observed
+/// violation depth exceeds violation_t.
+[[nodiscard]] ExperimentSummary run_experiment(const ExperimentConfig& config,
+                                               std::uint64_t violation_t);
+
+/// Hook for custom adversaries: same aggregation, caller-provided factory.
+[[nodiscard]] ExperimentSummary run_experiment_with(
+    const ExperimentConfig& config, std::uint64_t violation_t,
+    const std::function<std::unique_ptr<Adversary>(const EngineConfig&)>&
+        factory);
+
+/// Multi-threaded variant: seeds are distributed over `threads` workers
+/// (0 = hardware concurrency).  Per-seed results are collected into a
+/// seed-indexed vector and aggregated sequentially, so the summary is
+/// bit-identical to the serial runner regardless of scheduling.
+/// The factory must be callable concurrently (it is invoked once per seed,
+/// each invocation producing an adversary owned by one engine).
+[[nodiscard]] ExperimentSummary run_experiment_parallel(
+    const ExperimentConfig& config, std::uint64_t violation_t,
+    unsigned threads = 0);
+
+}  // namespace neatbound::sim

@@ -1,0 +1,83 @@
+#include "stats/batch_means.hpp"
+
+#include <cmath>
+
+#include "support/contracts.hpp"
+
+namespace neatbound::stats {
+
+BatchMeansResult batch_means(std::span<const double> series,
+                             std::size_t batches) {
+  NEATBOUND_EXPECTS(batches >= 2, "batch means needs >= 2 batches");
+  const std::size_t batch_size = series.size() / batches;
+  NEATBOUND_EXPECTS(batch_size >= 2,
+                    "series too short for the requested batch count");
+  const std::size_t used = batches * batch_size;
+
+  BatchMeansResult result;
+  result.batches = batches;
+  result.batch_size = batch_size;
+
+  double grand = 0.0;
+  for (std::size_t i = 0; i < used; ++i) grand += series[i];
+  grand /= static_cast<double>(used);
+  result.mean = grand;
+
+  // Batch averages and their variance around the grand mean.
+  double batch_var = 0.0;
+  for (std::size_t b = 0; b < batches; ++b) {
+    double avg = 0.0;
+    for (std::size_t i = 0; i < batch_size; ++i) {
+      avg += series[b * batch_size + i];
+    }
+    avg /= static_cast<double>(batch_size);
+    batch_var += (avg - grand) * (avg - grand);
+  }
+  batch_var /= static_cast<double>(batches - 1);
+  result.stderr_mean = std::sqrt(batch_var / static_cast<double>(batches));
+
+  // Naive iid stderr for comparison.
+  double var = 0.0;
+  for (std::size_t i = 0; i < used; ++i) {
+    var += (series[i] - grand) * (series[i] - grand);
+  }
+  var /= static_cast<double>(used - 1);
+  result.naive_stderr = std::sqrt(var / static_cast<double>(used));
+
+  if (result.naive_stderr > 0.0) {
+    const double ratio = result.stderr_mean / result.naive_stderr;
+    result.autocorrelation_time = ratio * ratio;
+  }
+  return result;
+}
+
+double autocovariance(std::span<const double> series, std::size_t lag) {
+  NEATBOUND_EXPECTS(lag < series.size(),
+                    "lag must be smaller than the series length");
+  const std::size_t n = series.size();
+  double mean = 0.0;
+  for (const double x : series) mean += x;
+  mean /= static_cast<double>(n);
+  double total = 0.0;
+  for (std::size_t i = 0; i + lag < n; ++i) {
+    total += (series[i] - mean) * (series[i + lag] - mean);
+  }
+  return total / static_cast<double>(n);
+}
+
+double integrated_autocorrelation_time(std::span<const double> series,
+                                       std::size_t max_lag) {
+  NEATBOUND_EXPECTS(series.size() >= 4, "series too short");
+  const double c0 = autocovariance(series, 0);
+  if (c0 <= 0.0) return 1.0;  // constant series
+  double tau = 1.0;
+  const std::size_t limit = std::min(max_lag, series.size() - 1);
+  for (std::size_t lag = 1; lag <= limit; ++lag) {
+    const double rho = autocovariance(series, lag) / c0;
+    if (rho <= 0.0) break;  // initial positive sequence truncation
+    tau += 2.0 * rho;
+  }
+  return tau;
+}
+
+}  // namespace neatbound::stats

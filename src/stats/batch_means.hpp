@@ -1,0 +1,44 @@
+// Batch-means analysis for dependent (Markov) sequences.
+//
+// The per-round indicators the paper studies — "this round completed a
+// convergence opportunity" — are *not* independent: they are functions of
+// a Markov chain (C_{F‖P}).  A naive stderr of their mean understates the
+// error by a factor of ~sqrt(integrated autocorrelation time).  The
+// batch-means method splits the series into B contiguous batches, treats
+// batch averages as approximately independent, and derives a defensible
+// confidence interval; comparing batch variance with the naive variance
+// also estimates the integrated autocorrelation time itself — which for
+// C_{F‖P} is related to the mixing time entering the paper's Eq. (47).
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace neatbound::stats {
+
+struct BatchMeansResult {
+  double mean = 0.0;
+  double stderr_mean = 0.0;       ///< batch-means standard error
+  double naive_stderr = 0.0;      ///< iid-assumption standard error
+  double autocorrelation_time = 1.0;  ///< (batch stderr / naive stderr)²
+  std::size_t batches = 0;
+  std::size_t batch_size = 0;
+};
+
+/// Batch-means estimate of the mean of a dependent series.
+/// `batches` contiguous batches of equal size are used (a trailing
+/// remainder shorter than one batch is dropped).  Requires at least
+/// 2 batches with at least 2 elements each.
+[[nodiscard]] BatchMeansResult batch_means(std::span<const double> series,
+                                           std::size_t batches = 32);
+
+/// Sample autocovariance at a given lag (biased, 1/n normalization).
+[[nodiscard]] double autocovariance(std::span<const double> series,
+                                    std::size_t lag);
+
+/// Integrated autocorrelation time via the initial-positive-sequence
+/// truncation: 1 + 2·Σ ρ(k) until ρ(k) first drops below 0.
+[[nodiscard]] double integrated_autocorrelation_time(
+    std::span<const double> series, std::size_t max_lag = 1000);
+
+}  // namespace neatbound::stats

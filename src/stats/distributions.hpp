@@ -1,0 +1,73 @@
+// Discrete distributions in log space.
+//
+// The paper's per-round block counts are Binomial(μn, p) (honest) and
+// Binomial(νn, p) (adversary) with p as small as 10^-20, so pmf/cdf values
+// are only representable in log space.  All mass functions here return
+// LogProb and are exact up to lgamma rounding.
+#pragma once
+
+#include <cstdint>
+
+#include "support/logprob.hpp"
+
+namespace neatbound::stats {
+
+/// Binomial(n, p) with real-valued n ≥ 0 (the paper freely uses μn, νn,
+/// which need not be integers); pmf defined via gamma functions.
+class Binomial {
+ public:
+  Binomial(double n, double p);
+
+  [[nodiscard]] double trials() const noexcept { return n_; }
+  [[nodiscard]] double success_probability() const noexcept { return p_; }
+  [[nodiscard]] double mean() const noexcept { return n_ * p_; }
+  [[nodiscard]] double variance() const noexcept { return n_ * p_ * (1 - p_); }
+
+  /// P[X = k].
+  [[nodiscard]] LogProb pmf(double k) const;
+
+  /// P[X ≤ k] by direct summation (suitable for the small-k regime the
+  /// library lives in: per-round means are ≪ 1).
+  [[nodiscard]] LogProb cdf(std::uint64_t k) const;
+
+  /// P[X ≥ k] = 1 − P[X ≤ k−1], computed by complement in log space.
+  [[nodiscard]] LogProb sf(std::uint64_t k) const;
+
+  /// P[X = 0] = (1−p)^n — the paper's ᾱ when (n,p) = (μn, p).
+  [[nodiscard]] LogProb prob_zero() const;
+
+  /// P[X = 1] = np(1−p)^{n−1} — the paper's α₁.
+  [[nodiscard]] LogProb prob_one() const;
+
+  /// P[X ≥ 1] = 1 − (1−p)^n — the paper's α.
+  [[nodiscard]] LogProb prob_positive() const;
+
+ private:
+  double n_;
+  double p_;
+};
+
+/// Geometric on {0, 1, ...}: failures before first success.
+class Geometric {
+ public:
+  explicit Geometric(double p);
+  [[nodiscard]] LogProb pmf(std::uint64_t k) const;
+  [[nodiscard]] LogProb sf(std::uint64_t k) const;  ///< P[X ≥ k] = (1−p)^k
+  [[nodiscard]] double mean() const noexcept { return (1 - p_) / p_; }
+
+ private:
+  double p_;
+};
+
+/// Poisson(λ) — used as the limit check for Binomial(n, p) with np = λ.
+class Poisson {
+ public:
+  explicit Poisson(double lambda);
+  [[nodiscard]] LogProb pmf(std::uint64_t k) const;
+  [[nodiscard]] double mean() const noexcept { return lambda_; }
+
+ private:
+  double lambda_;
+};
+
+}  // namespace neatbound::stats

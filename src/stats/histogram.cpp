@@ -1,0 +1,76 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "support/contracts.hpp"
+
+namespace neatbound::stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  NEATBOUND_EXPECTS(hi > lo, "Histogram requires hi > lo");
+  NEATBOUND_EXPECTS(bins > 0, "Histogram requires at least one bin");
+}
+
+void Histogram::add(double x) noexcept {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  const double frac = (x - lo_) / (hi_ - lo_);
+  auto idx = static_cast<std::size_t>(frac * static_cast<double>(counts_.size()));
+  idx = std::min(idx, counts_.size() - 1);
+  ++counts_[idx];
+}
+
+double Histogram::bin_lo(std::size_t i) const {
+  NEATBOUND_EXPECTS(i < counts_.size(), "bin index out of range");
+  const double w = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + w * static_cast<double>(i);
+}
+
+double Histogram::bin_hi(std::size_t i) const {
+  NEATBOUND_EXPECTS(i < counts_.size(), "bin index out of range");
+  const double w = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + w * static_cast<double>(i + 1);
+}
+
+double Histogram::bin_fraction(std::size_t i) const {
+  NEATBOUND_EXPECTS(i < counts_.size(), "bin index out of range");
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(counts_[i]) / static_cast<double>(total_);
+}
+
+std::string Histogram::render(std::size_t max_bar_width) const {
+  std::uint64_t max_count = 1;
+  for (const auto c : counts_) max_count = std::max(max_count, c);
+  std::string out;
+  char line[160];
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const auto bar_len = static_cast<std::size_t>(
+        std::llround(static_cast<double>(counts_[i]) /
+                     static_cast<double>(max_count) *
+                     static_cast<double>(max_bar_width)));
+    std::snprintf(line, sizeof(line), "[%10.4g, %10.4g) %10llu ", bin_lo(i),
+                  bin_hi(i), static_cast<unsigned long long>(counts_[i]));
+    out += line;
+    out.append(bar_len, '#');
+    out += '\n';
+  }
+  if (underflow_ > 0 || overflow_ > 0) {
+    std::snprintf(line, sizeof(line), "underflow=%llu overflow=%llu\n",
+                  static_cast<unsigned long long>(underflow_),
+                  static_cast<unsigned long long>(overflow_));
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace neatbound::stats

@@ -1,0 +1,43 @@
+// Fixed-bin histogram for simulator diagnostics (e.g. distribution of
+// fork depths, inter-block gaps).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace neatbound::stats {
+
+class Histogram {
+ public:
+  /// Bins [lo, hi) split into `bins` equal cells, plus under/overflow.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::uint64_t total_count() const noexcept { return total_; }
+  [[nodiscard]] std::uint64_t underflow() const noexcept { return underflow_; }
+  [[nodiscard]] std::uint64_t overflow() const noexcept { return overflow_; }
+  [[nodiscard]] std::size_t bin_count() const noexcept {
+    return counts_.size();
+  }
+  [[nodiscard]] std::uint64_t bin(std::size_t i) const { return counts_.at(i); }
+  [[nodiscard]] double bin_lo(std::size_t i) const;
+  [[nodiscard]] double bin_hi(std::size_t i) const;
+
+  /// Fraction of observations in bin i (0 if empty histogram).
+  [[nodiscard]] double bin_fraction(std::size_t i) const;
+
+  /// Multi-line ASCII rendering with proportional bars.
+  [[nodiscard]] std::string render(std::size_t max_bar_width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace neatbound::stats

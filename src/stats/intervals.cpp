@@ -1,0 +1,66 @@
+#include "stats/intervals.hpp"
+
+#include <cmath>
+
+#include "support/contracts.hpp"
+
+namespace neatbound::stats {
+
+Interval wilson_interval(std::uint64_t successes, std::uint64_t trials,
+                         double z) {
+  NEATBOUND_EXPECTS(trials > 0, "wilson_interval requires trials > 0");
+  NEATBOUND_EXPECTS(successes <= trials, "successes must not exceed trials");
+  const double n = static_cast<double>(trials);
+  const double phat = static_cast<double>(successes) / n;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double centre = (phat + z2 / (2.0 * n)) / denom;
+  const double half =
+      (z / denom) * std::sqrt(phat * (1.0 - phat) / n + z2 / (4.0 * n * n));
+  return {std::max(0.0, centre - half), std::min(1.0, centre + half)};
+}
+
+Interval mean_interval(double mean, double stderr_mean, double z) {
+  NEATBOUND_EXPECTS(stderr_mean >= 0.0, "stderr must be non-negative");
+  return {mean - z * stderr_mean, mean + z * stderr_mean};
+}
+
+double z_for_confidence(double level) {
+  NEATBOUND_EXPECTS(level > 0.0 && level < 1.0,
+                    "confidence level must be in (0,1)");
+  // Acklam-style rational approximation of the normal quantile at
+  // (1+level)/2; accurate to ~1e-9 which is far beyond what CI display needs.
+  const double p = (1.0 + level) / 2.0;
+  // Coefficients for the central region approximation.
+  static constexpr double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                                 -2.759285104469687e+02, 1.383577518672690e+02,
+                                 -3.066479806614716e+01, 2.506628277459239e+00};
+  static constexpr double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                                 -1.556989798598866e+02, 6.680131188771972e+01,
+                                 -1.328068155288572e+01};
+  static constexpr double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                                 -2.400758277161838e+00, -2.549732539343734e+00,
+                                 4.374664141464968e+00,  2.938163982698783e+00};
+  static constexpr double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                                 2.445134137142996e+00, 3.754408661907416e+00};
+  const double plow = 0.02425;
+  if (p < plow) {
+    const double q = std::sqrt(-2.0 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+            c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  if (p > 1.0 - plow) {
+    const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+    return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+             c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  const double q = p - 0.5;
+  const double r = q * q;
+  return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) *
+         q /
+         (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+}
+
+}  // namespace neatbound::stats

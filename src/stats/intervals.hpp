@@ -1,0 +1,32 @@
+// Confidence intervals for simulation estimates.
+#pragma once
+
+#include <cstdint>
+
+namespace neatbound::stats {
+
+struct Interval {
+  double lo = 0.0;
+  double hi = 0.0;
+  [[nodiscard]] bool contains(double x) const noexcept {
+    return lo <= x && x <= hi;
+  }
+  [[nodiscard]] double width() const noexcept { return hi - lo; }
+};
+
+/// Wilson score interval for a binomial proportion.
+/// Robust for small successes/trials counts (unlike the Wald interval),
+/// which is exactly the regime of rare-event rates like ᾱ^{2Δ}α₁.
+[[nodiscard]] Interval wilson_interval(std::uint64_t successes,
+                                       std::uint64_t trials,
+                                       double z = 1.959963984540054);
+
+/// Normal-approximation interval for a sample mean given mean/stderr.
+[[nodiscard]] Interval mean_interval(double mean, double stderr_mean,
+                                     double z = 1.959963984540054);
+
+/// Two-sided z-value for a given confidence level (0.90, 0.95, 0.99, 0.999);
+/// other levels are interpolated from the normal quantile approximation.
+[[nodiscard]] double z_for_confidence(double level);
+
+}  // namespace neatbound::stats

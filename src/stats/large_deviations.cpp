@@ -1,0 +1,56 @@
+#include "stats/large_deviations.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace neatbound::stats {
+
+double bernoulli_relative_entropy(double a, double p) {
+  NEATBOUND_EXPECTS(a >= 0.0 && a <= 1.0, "D(a||p) requires a in [0,1]");
+  NEATBOUND_EXPECTS(p >= 0.0 && p <= 1.0, "D(a||p) requires p in [0,1]");
+  const double inf = std::numeric_limits<double>::infinity();
+  if (a > 0.0 && p == 0.0) return inf;
+  if (a < 1.0 && p == 1.0) return inf;
+  double total = 0.0;
+  if (a > 0.0) total += a * std::log(a / p);
+  if (a < 1.0) total += (1.0 - a) * std::log((1.0 - a) / (1.0 - p));
+  // Relative entropy is non-negative; clamp away −0 and rounding dips.
+  return total < 0.0 ? 0.0 : total;
+}
+
+double relative_entropy_scaled(double p, double delta3) {
+  NEATBOUND_EXPECTS(delta3 > -1.0, "delta3 must exceed -1");
+  const double a = (1.0 + delta3) * p;
+  NEATBOUND_EXPECTS(a <= 1.0, "(1+delta3)p must be <= 1");
+  return bernoulli_relative_entropy(a, p);
+}
+
+LogProb binomial_upper_tail_bound(double trials, double p, double delta3) {
+  NEATBOUND_EXPECTS(trials >= 0.0, "trials must be >= 0");
+  NEATBOUND_EXPECTS(delta3 > 0.0, "upper tail requires delta3 > 0");
+  const double d = relative_entropy_scaled(p, delta3);
+  return LogProb::from_log(-trials * d);
+}
+
+LogProb binomial_lower_tail_bound(double trials, double p, double delta) {
+  NEATBOUND_EXPECTS(trials >= 0.0, "trials must be >= 0");
+  NEATBOUND_EXPECTS(delta > 0.0 && delta < 1.0,
+                    "lower tail requires delta in (0,1)");
+  const double a = (1.0 - delta) * p;
+  const double d = bernoulli_relative_entropy(a, p);
+  return LogProb::from_log(-trials * d);
+}
+
+LogProb chernoff_upper_bound(double mean, double delta) {
+  NEATBOUND_EXPECTS(mean >= 0.0 && delta > 0.0,
+                    "chernoff_upper_bound requires mean >= 0, delta > 0");
+  return LogProb::from_log(-mean * delta * delta / (2.0 + delta));
+}
+
+LogProb chernoff_lower_bound(double mean, double delta) {
+  NEATBOUND_EXPECTS(mean >= 0.0 && delta > 0.0 && delta < 1.0,
+                    "chernoff_lower_bound requires delta in (0,1)");
+  return LogProb::from_log(-mean * delta * delta / 2.0);
+}
+
+}  // namespace neatbound::stats

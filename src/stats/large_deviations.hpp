@@ -1,0 +1,40 @@
+// Large-deviation machinery from the paper's Section V-C.
+//
+// The adversary's block count A(t₀, t₀+T−1) is Binomial(Tνn, p); the paper
+// bounds its upper tail with the Arratia–Gordon inequality (their Eq. 49)
+// driven by the Bernoulli relative entropy D((1+δ₃)p ‖ p) (their Eq. 48).
+// This header implements those quantities plus the standard multiplicative
+// Chernoff bounds used for cross-checks.
+#pragma once
+
+#include "support/logprob.hpp"
+
+namespace neatbound::stats {
+
+/// Bernoulli relative entropy D(a ‖ p) = a·ln(a/p) + (1−a)·ln((1−a)/(1−p)).
+/// Defined for a, p ∈ [0,1] with the usual 0·ln 0 = 0 conventions; +∞ when
+/// the support condition fails (a > 0, p = 0 etc.).
+[[nodiscard]] double bernoulli_relative_entropy(double a, double p);
+
+/// The paper's Eq. (48): D((1+δ₃)p ‖ p); requires (1+δ₃)p ≤ 1.
+[[nodiscard]] double relative_entropy_scaled(double p, double delta3);
+
+/// Arratia–Gordon upper-tail bound, the paper's Eq. (49):
+///   P[Binomial(N, p) ≥ (1+δ₃)·Np] ≤ exp(−N·D((1+δ₃)p ‖ p)).
+/// Returned in log space since the bound is often astronomically small.
+[[nodiscard]] LogProb binomial_upper_tail_bound(double trials, double p,
+                                                double delta3);
+
+/// Arratia–Gordon lower-tail bound:
+///   P[Binomial(N, p) ≤ (1−δ)·Np] ≤ exp(−N·D((1−δ)p ‖ p)).
+[[nodiscard]] LogProb binomial_lower_tail_bound(double trials, double p,
+                                                double delta);
+
+/// Multiplicative Chernoff upper bound (weaker but simpler):
+///   P[X ≥ (1+δ)·m] ≤ exp(−m·δ²/(2+δ)),  m = Np.
+[[nodiscard]] LogProb chernoff_upper_bound(double mean, double delta);
+
+/// Multiplicative Chernoff lower bound: P[X ≤ (1−δ)m] ≤ exp(−m·δ²/2).
+[[nodiscard]] LogProb chernoff_lower_bound(double mean, double delta);
+
+}  // namespace neatbound::stats

@@ -1,0 +1,42 @@
+// Streaming and batch summary statistics for simulator output.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace neatbound::stats {
+
+/// Welford streaming mean/variance — numerically stable one-pass updates.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  /// Unbiased sample variance (n−1 denominator); 0 for fewer than 2 samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  /// Standard error of the mean; 0 for fewer than 2 samples.
+  [[nodiscard]] double stderr_mean() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+  /// Merges another accumulator (parallel reduction friendly).
+  void merge(const RunningStats& other) noexcept;
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Linear-interpolated quantile of a sample; q in [0,1]. Copies + sorts.
+[[nodiscard]] double quantile(std::span<const double> sample, double q);
+
+/// Convenience: mean of a sample (0 for empty).
+[[nodiscard]] double mean_of(std::span<const double> sample) noexcept;
+
+}  // namespace neatbound::stats

@@ -1,0 +1,89 @@
+#include "support/cli.hpp"
+
+#include <stdexcept>
+
+namespace neatbound {
+
+CliArgs::CliArgs(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      throw std::runtime_error("CliArgs: expected --flag, got '" + arg + "'");
+    }
+    arg = arg.substr(2);
+    const std::size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[arg] = argv[++i];
+    } else {
+      values_[arg] = "true";  // bare flag
+    }
+  }
+}
+
+std::string CliArgs::get_string(const std::string& name,
+                                const std::string& default_value) {
+  consumed_.insert(name);
+  const auto it = values_.find(name);
+  return it == values_.end() ? default_value : it->second;
+}
+
+double CliArgs::get_double(const std::string& name, double default_value) {
+  consumed_.insert(name);
+  const auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  try {
+    return std::stod(it->second);
+  } catch (const std::exception&) {
+    throw std::runtime_error("CliArgs: flag --" + name +
+                             " expects a number, got '" + it->second + "'");
+  }
+}
+
+std::int64_t CliArgs::get_int(const std::string& name,
+                              std::int64_t default_value) {
+  consumed_.insert(name);
+  const auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  try {
+    return std::stoll(it->second);
+  } catch (const std::exception&) {
+    throw std::runtime_error("CliArgs: flag --" + name +
+                             " expects an integer, got '" + it->second + "'");
+  }
+}
+
+std::uint64_t CliArgs::get_uint(const std::string& name,
+                                std::uint64_t default_value) {
+  const std::int64_t v =
+      get_int(name, static_cast<std::int64_t>(default_value));
+  if (v < 0) {
+    throw std::runtime_error("CliArgs: flag --" + name + " must be >= 0");
+  }
+  return static_cast<std::uint64_t>(v);
+}
+
+bool CliArgs::get_bool(const std::string& name, bool default_value) {
+  consumed_.insert(name);
+  const auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  if (it->second == "true" || it->second == "1") return true;
+  if (it->second == "false" || it->second == "0") return false;
+  throw std::runtime_error("CliArgs: flag --" + name +
+                           " expects true/false, got '" + it->second + "'");
+}
+
+bool CliArgs::has(const std::string& name) const {
+  return values_.count(name) > 0;
+}
+
+void CliArgs::reject_unconsumed() const {
+  for (const auto& [name, value] : values_) {
+    if (consumed_.count(name) == 0) {
+      throw std::runtime_error("CliArgs: unknown flag --" + name);
+    }
+  }
+}
+
+}  // namespace neatbound

@@ -1,0 +1,40 @@
+// Tiny command-line flag parser for bench harnesses and examples.
+// Supports --name=value and --name value; unknown flags are an error so
+// typos never silently fall back to defaults.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+
+namespace neatbound {
+
+class CliArgs {
+ public:
+  /// Parses argv; throws std::runtime_error on malformed input.
+  CliArgs(int argc, const char* const* argv);
+
+  /// Typed getters with defaults; record which flags were consumed.
+  [[nodiscard]] std::string get_string(const std::string& name,
+                                       const std::string& default_value);
+  [[nodiscard]] double get_double(const std::string& name,
+                                  double default_value);
+  [[nodiscard]] std::int64_t get_int(const std::string& name,
+                                     std::int64_t default_value);
+  [[nodiscard]] std::uint64_t get_uint(const std::string& name,
+                                       std::uint64_t default_value);
+  [[nodiscard]] bool get_bool(const std::string& name, bool default_value);
+
+  [[nodiscard]] bool has(const std::string& name) const;
+
+  /// Throws if any provided flag was never consumed by a getter — catches
+  /// misspelled flags. Call after all getters.
+  void reject_unconsumed() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::set<std::string> consumed_;
+};
+
+}  // namespace neatbound

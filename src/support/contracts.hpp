@@ -1,0 +1,50 @@
+// Contract-checking macros in the style of the C++ Core Guidelines GSL
+// Expects/Ensures, but throwing so that tests can observe violations.
+//
+// NEATBOUND_EXPECTS(cond, msg) — precondition on function arguments.
+// NEATBOUND_ENSURES(cond, msg) — postcondition / internal invariant.
+//
+// Both throw neatbound::ContractViolation (derived from std::logic_error).
+// They are always on: every check in this library guards either user input
+// or a mathematical invariant whose silent violation would corrupt results.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace neatbound {
+
+/// Thrown when a precondition or invariant check fails.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what_arg)
+      : std::logic_error(what_arg) {}
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* kind, const char* cond,
+                                       const char* file, int line,
+                                       const std::string& msg) {
+  throw ContractViolation(std::string(kind) + " failed: (" + cond + ") at " +
+                          file + ":" + std::to_string(line) +
+                          (msg.empty() ? "" : (" — " + msg)));
+}
+}  // namespace detail
+
+}  // namespace neatbound
+
+#define NEATBOUND_EXPECTS(cond, msg)                                        \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      ::neatbound::detail::contract_fail("precondition", #cond, __FILE__,   \
+                                         __LINE__, (msg));                  \
+    }                                                                       \
+  } while (false)
+
+#define NEATBOUND_ENSURES(cond, msg)                                        \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      ::neatbound::detail::contract_fail("invariant", #cond, __FILE__,      \
+                                         __LINE__, (msg));                  \
+    }                                                                       \
+  } while (false)

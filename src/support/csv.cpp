@@ -1,0 +1,55 @@
+#include "support/csv.hpp"
+
+#include <stdexcept>
+
+#include "support/contracts.hpp"
+
+namespace neatbound {
+
+namespace {
+bool needs_quoting(const std::string& cell) {
+  return cell.find_first_of(",\"\n\r") != std::string::npos;
+}
+
+std::string quoted(const std::string& cell) {
+  std::string out = "\"";
+  for (const char ch : cell) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+}  // namespace
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& header)
+    : out_(path), columns_(header.size()) {
+  if (!out_) {
+    throw std::runtime_error("CsvWriter: cannot open " + path);
+  }
+  NEATBOUND_EXPECTS(columns_ > 0, "CSV needs at least one column");
+  write_row(header);
+}
+
+void CsvWriter::add_row(const std::vector<std::string>& cells) {
+  NEATBOUND_EXPECTS(cells.size() == columns_,
+                    "CSV row width must match header");
+  write_row(cells);
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) out_ << ',';
+    out_ << (needs_quoting(cells[i]) ? quoted(cells[i]) : cells[i]);
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::close() {
+  if (out_.is_open()) out_.close();
+}
+
+CsvWriter::~CsvWriter() { close(); }
+
+}  // namespace neatbound

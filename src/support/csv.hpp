@@ -1,0 +1,33 @@
+// Minimal CSV writer: every bench harness can optionally dump its series to
+// a CSV file (for external plotting) in addition to the stdout table.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace neatbound {
+
+/// RFC-4180-style CSV writer (quotes cells containing , " or newline).
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row.
+  /// Throws std::runtime_error if the file cannot be opened.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  void add_row(const std::vector<std::string>& cells);
+
+  /// Flushes and closes; called by the destructor if not called explicitly.
+  void close();
+
+  ~CsvWriter();
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+ private:
+  void write_row(const std::vector<std::string>& cells);
+  std::ofstream out_;
+  std::size_t columns_;
+};
+
+}  // namespace neatbound

@@ -1,0 +1,22 @@
+#include "support/logprob.hpp"
+
+#include <ostream>
+
+namespace neatbound {
+
+std::ostream& operator<<(std::ostream& os, LogProb p) {
+  // Render linearly when representable, otherwise as exp(ln-value).
+  const double lin = p.linear();
+  if (lin > 0.0 || p.is_zero()) {
+    return os << lin;
+  }
+  return os << "exp(" << p.log() << ")";
+}
+
+LogProb pow_one_minus(double p, double k) {
+  NEATBOUND_EXPECTS(p >= 0.0 && p < 1.0, "pow_one_minus requires p in [0,1)");
+  NEATBOUND_EXPECTS(k >= 0.0, "pow_one_minus requires k >= 0");
+  return LogProb::from_log(k * std::log1p(-p));
+}
+
+}  // namespace neatbound

@@ -1,0 +1,128 @@
+// Log-space probability arithmetic.
+//
+// At the paper's parameter scale (Δ = 10^13, p ≈ 10^-18 … 10^-20) the
+// quantities in Theorem 1 — e.g. ᾱ^{2Δ} = (1-p)^{2Δμn} — underflow IEEE
+// doubles by thousands of orders of magnitude even though the *final*
+// comparisons are well conditioned (ᾱ^{2Δ} ≈ e^{-2μ/c}).  LogProb stores
+// ln(x) for x ≥ 0 and provides exact-in-log-space *, /, pow and stable
+// +, − via log-sum-exp.  Zero is representable (ln 0 = −∞).
+//
+// LogProb is a regular value type: copyable, comparable, hashable-free.
+// Values > 1 are permitted (the type models non-negative reals, not only
+// probabilities) because intermediate expressions like (1+δ)pνn can
+// transiently exceed 1.
+#pragma once
+
+#include <cmath>
+#include <compare>
+#include <iosfwd>
+#include <limits>
+
+#include "support/contracts.hpp"
+
+namespace neatbound {
+
+class LogProb {
+ public:
+  /// Default-constructs zero (ln 0 = −∞).
+  constexpr LogProb() noexcept
+      : log_(-std::numeric_limits<double>::infinity()) {}
+
+  /// Constructs from a linear-space non-negative value.
+  static LogProb from_linear(double value) {
+    NEATBOUND_EXPECTS(value >= 0.0 && !std::isnan(value),
+                      "LogProb requires a non-negative value");
+    return LogProb(std::log(value));
+  }
+
+  /// Constructs from a natural-log value (may be −∞ for zero, but not NaN).
+  static LogProb from_log(double log_value) {
+    NEATBOUND_EXPECTS(!std::isnan(log_value), "LogProb log value is NaN");
+    return LogProb(log_value);
+  }
+
+  static constexpr LogProb zero() noexcept { return LogProb(); }
+  static LogProb one() { return LogProb(0.0); }
+
+  /// ln(x); −∞ for zero.
+  [[nodiscard]] double log() const noexcept { return log_; }
+
+  /// Linear-space value; underflows to 0 / overflows to +inf as doubles do.
+  [[nodiscard]] double linear() const noexcept { return std::exp(log_); }
+
+  [[nodiscard]] bool is_zero() const noexcept {
+    return std::isinf(log_) && log_ < 0;
+  }
+
+  /// Multiplication: ln(xy) = ln x + ln y.
+  friend LogProb operator*(LogProb a, LogProb b) noexcept {
+    if (a.is_zero() || b.is_zero()) return zero();
+    return LogProb(a.log_ + b.log_);
+  }
+  LogProb& operator*=(LogProb o) noexcept { return *this = *this * o; }
+
+  /// Division; dividing by zero is a contract violation.
+  friend LogProb operator/(LogProb a, LogProb b) {
+    NEATBOUND_EXPECTS(!b.is_zero(), "LogProb division by zero");
+    if (a.is_zero()) return zero();
+    return LogProb(a.log_ - b.log_);
+  }
+  LogProb& operator/=(LogProb o) { return *this = *this / o; }
+
+  /// Addition via log-sum-exp: ln(x+y) = m + ln(1 + e^{min-m}), m = max.
+  friend LogProb operator+(LogProb a, LogProb b) noexcept {
+    if (a.is_zero()) return b;
+    if (b.is_zero()) return a;
+    const double hi = a.log_ > b.log_ ? a.log_ : b.log_;
+    const double lo = a.log_ > b.log_ ? b.log_ : a.log_;
+    return LogProb(hi + std::log1p(std::exp(lo - hi)));
+  }
+  LogProb& operator+=(LogProb o) noexcept { return *this = *this + o; }
+
+  /// Subtraction; requires a ≥ b. ln(x−y) = ln x + ln(1 − e^{ln y − ln x}).
+  friend LogProb operator-(LogProb a, LogProb b) {
+    if (b.is_zero()) return a;
+    NEATBOUND_EXPECTS(a.log_ >= b.log_,
+                      "LogProb subtraction would produce a negative value");
+    if (a.log_ == b.log_) return zero();
+    return LogProb(a.log_ + std::log1p(-std::exp(b.log_ - a.log_)));
+  }
+  LogProb& operator-=(LogProb o) { return *this = *this - o; }
+
+  /// x^e for real exponent (e may be huge, e.g. 2Δ = 2·10^13).
+  [[nodiscard]] LogProb pow(double exponent) const {
+    if (is_zero()) {
+      NEATBOUND_EXPECTS(exponent > 0.0, "0^e requires e > 0");
+      return zero();
+    }
+    return LogProb(log_ * exponent);
+  }
+
+  /// Complement 1 − x for x ∈ [0, 1].
+  [[nodiscard]] LogProb complement() const {
+    NEATBOUND_EXPECTS(log_ <= 0.0, "complement() requires value <= 1");
+    if (is_zero()) return one();
+    if (log_ == 0.0) return zero();
+    // ln(1 − e^{ln x}); expm1-based branch keeps precision when x ≈ 1.
+    if (log_ > -0.6931471805599453 /* ln 2 */) {
+      return LogProb(std::log(-std::expm1(log_)));
+    }
+    return LogProb(std::log1p(-std::exp(log_)));
+  }
+
+  friend auto operator<=>(LogProb a, LogProb b) noexcept {
+    return a.log_ <=> b.log_;
+  }
+  friend bool operator==(LogProb a, LogProb b) noexcept = default;
+
+ private:
+  constexpr explicit LogProb(double log_value) noexcept : log_(log_value) {}
+  double log_;
+};
+
+std::ostream& operator<<(std::ostream& os, LogProb p);
+
+/// (1 − p)^k computed stably as e^{k·log1p(−p)}; p ∈ [0,1), k ≥ 0 (real).
+LogProb pow_one_minus(double p, double k);
+
+}  // namespace neatbound

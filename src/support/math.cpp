@@ -1,0 +1,79 @@
+#include "support/math.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace neatbound {
+
+double log_add_exp(double log_a, double log_b) noexcept {
+  if (std::isinf(log_a) && log_a < 0) return log_b;
+  if (std::isinf(log_b) && log_b < 0) return log_a;
+  const double hi = std::max(log_a, log_b);
+  const double lo = std::min(log_a, log_b);
+  return hi + std::log1p(std::exp(lo - hi));
+}
+
+double log_sub_exp(double log_a, double log_b) {
+  if (std::isinf(log_b) && log_b < 0) return log_a;
+  NEATBOUND_EXPECTS(log_a >= log_b, "log_sub_exp requires a >= b");
+  if (log_a == log_b) return -std::numeric_limits<double>::infinity();
+  return log_a + log1m_exp(log_b - log_a);
+}
+
+double log_binomial_coefficient(double n, double k) {
+  NEATBOUND_EXPECTS(n >= 0 && k >= 0 && k <= n,
+                    "log_binomial_coefficient requires 0 <= k <= n");
+  return std::lgamma(n + 1.0) - std::lgamma(k + 1.0) - std::lgamma(n - k + 1.0);
+}
+
+double log1m_exp(double x) {
+  NEATBOUND_EXPECTS(x < 0.0, "log1m_exp requires x < 0");
+  // For x > -ln 2 use expm1 (1 - e^x is small); otherwise log1p.
+  constexpr double kLn2 = 0.6931471805599453;
+  if (x > -kLn2) return std::log(-std::expm1(x));
+  return std::log1p(-std::exp(x));
+}
+
+double relative_error(double a, double b) noexcept {
+  const double scale =
+      std::max({std::fabs(a), std::fabs(b), std::numeric_limits<double>::min()});
+  if (a == b) return 0.0;
+  return std::fabs(a - b) / scale;
+}
+
+bool approx_equal(double a, double b, double rel_tol) noexcept {
+  return relative_error(a, b) <= rel_tol;
+}
+
+BisectionResult bisect_last_true(const std::function<bool(double)>& pred,
+                                 double lo, double hi, double tol,
+                                 int max_iter) {
+  NEATBOUND_EXPECTS(lo <= hi, "bisect_last_true requires lo <= hi");
+  if (!pred(lo)) return {lo, false};
+  if (pred(hi)) return {hi, false};
+  // Invariant: pred(lo) true, pred(hi) false.
+  for (int i = 0; i < max_iter && (hi - lo) > tol * std::max(1.0, std::fabs(lo));
+       ++i) {
+    const double mid = lo + 0.5 * (hi - lo);
+    if (pred(mid)) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return {lo, true};
+}
+
+BisectionResult bisect_last_true_log(const std::function<bool(double)>& pred,
+                                     double lo, double hi, double log10_tol,
+                                     int max_iter) {
+  NEATBOUND_EXPECTS(lo > 0.0 && hi > lo,
+                    "bisect_last_true_log requires 0 < lo < hi");
+  auto pred_log = [&pred](double lg) { return pred(std::pow(10.0, lg)); };
+  const BisectionResult r = bisect_last_true(pred_log, std::log10(lo),
+                                             std::log10(hi), log10_tol,
+                                             max_iter);
+  return {std::pow(10.0, r.value), r.converged};
+}
+
+}  // namespace neatbound

@@ -1,0 +1,55 @@
+// Numeric helpers shared across the analytic modules: stable log-domain
+// primitives, log-binomial coefficients, and a monotone-predicate bisection
+// used by every bound-frontier solver in src/bounds.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <functional>
+
+#include "support/contracts.hpp"
+
+namespace neatbound {
+
+/// ln(a + b) given ln a and ln b (either may be −∞).
+[[nodiscard]] double log_add_exp(double log_a, double log_b) noexcept;
+
+/// ln(a − b) given ln a ≥ ln b; contract violation otherwise.
+[[nodiscard]] double log_sub_exp(double log_a, double log_b);
+
+/// ln C(n, k) via lgamma; exact enough for n up to ~10^15.
+[[nodiscard]] double log_binomial_coefficient(double n, double k);
+
+/// ln(1 − e^x) for x < 0, stable near both ends.
+[[nodiscard]] double log1m_exp(double x);
+
+/// Relative error |a−b| / max(|a|,|b|,eps); 0 when both are 0.
+[[nodiscard]] double relative_error(double a, double b) noexcept;
+
+/// True when a and b agree to within `rel_tol` relative error (or both 0).
+[[nodiscard]] bool approx_equal(double a, double b, double rel_tol) noexcept;
+
+struct BisectionResult {
+  double value = 0.0;      ///< located boundary point
+  bool converged = false;  ///< false if the bracket never straddled
+};
+
+/// Finds the frontier of a monotone predicate on [lo, hi].
+///
+/// `pred` must be monotone: there is a boundary x* such that pred holds on
+/// one side and fails on the other.  Returns the largest point (within
+/// `tol`) where `pred` is true, assuming pred(lo) == true and
+/// pred(hi) == false.  If pred(lo) is false the result is `lo` with
+/// converged=false; if pred(hi) is true the result is `hi` with
+/// converged=false (the frontier lies outside the bracket).
+[[nodiscard]] BisectionResult bisect_last_true(
+    const std::function<bool(double)>& pred, double lo, double hi,
+    double tol = 1e-13, int max_iter = 200);
+
+/// Same, but bisects on a log10 grid: useful when the bracket spans many
+/// orders of magnitude (e.g. ν ∈ [10⁻⁶³, ½]).  Requires 0 < lo < hi.
+[[nodiscard]] BisectionResult bisect_last_true_log(
+    const std::function<bool(double)>& pred, double lo, double hi,
+    double log10_tol = 1e-12, int max_iter = 300);
+
+}  // namespace neatbound

@@ -1,0 +1,141 @@
+#include "support/rng.hpp"
+
+#include <cmath>
+
+namespace neatbound {
+
+namespace {
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+std::uint64_t splitmix64_next(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  return mix64(state);
+}
+
+std::uint64_t mix64(std::uint64_t x) noexcept {
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+Xoshiro256::Xoshiro256(std::uint64_t seed) noexcept {
+  std::uint64_t sm = seed;
+  for (auto& word : s_) word = splitmix64_next(sm);
+}
+
+std::uint64_t Xoshiro256::next() noexcept {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+void Xoshiro256::jump() noexcept {
+  static constexpr std::array<std::uint64_t, 4> kJump = {
+      0x180ec6d33cfd0abaULL, 0xd5a61266f0c9392cULL, 0xa9582618e03fc9aaULL,
+      0x39abdc4529b1661cULL};
+  std::array<std::uint64_t, 4> acc{0, 0, 0, 0};
+  for (const std::uint64_t word : kJump) {
+    for (int bit = 0; bit < 64; ++bit) {
+      if (word & (1ULL << bit)) {
+        for (std::size_t i = 0; i < 4; ++i) acc[i] ^= s_[i];
+      }
+      (void)next();
+    }
+  }
+  s_ = acc;
+}
+
+Xoshiro256 Xoshiro256::split() noexcept {
+  Xoshiro256 child = *this;
+  child.jump();
+  // Decorrelate this stream from the child by advancing once.
+  (void)next();
+  return child;
+}
+
+double Rng::uniform() noexcept {
+  return static_cast<double>(gen_.next() >> 11) * 0x1.0p-53;
+}
+
+std::uint64_t Rng::uniform_below(std::uint64_t bound) {
+  NEATBOUND_EXPECTS(bound > 0, "uniform_below requires bound > 0");
+  // Classic rejection: discard draws below 2^64 mod bound so that the
+  // final modulo is unbiased.
+  const std::uint64_t threshold = (0 - bound) % bound;
+  for (;;) {
+    const std::uint64_t r = gen_.next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+bool Rng::bernoulli(double p) {
+  NEATBOUND_EXPECTS(p >= 0.0 && p <= 1.0, "bernoulli requires p in [0,1]");
+  return uniform() < p;
+}
+
+std::uint64_t Rng::binomial_inversion(std::uint64_t n, double p) {
+  // BINV: walk the pmf from k = 0, subtracting from a uniform variate.
+  // Expected iterations ≈ np + 1.  Numerically safe for np ≤ ~700 since
+  // q^n stays above the double underflow threshold there; we only call it
+  // for np ≤ kInversionCutoff.
+  const double q = 1.0 - p;
+  const double s = p / q;
+  double f = std::exp(static_cast<double>(n) * std::log1p(-p));  // q^n
+  double u = uniform();
+  std::uint64_t k = 0;
+  while (u > f && k < n) {
+    u -= f;
+    ++k;
+    f *= s * (static_cast<double>(n - k + 1) / static_cast<double>(k));
+  }
+  return k;
+}
+
+std::uint64_t Rng::binomial(std::uint64_t n, double p) {
+  NEATBOUND_EXPECTS(p >= 0.0 && p <= 1.0, "binomial requires p in [0,1]");
+  if (n == 0 || p == 0.0) return 0;
+  if (p == 1.0) return n;
+  // Exploit symmetry so the inversion walks the short tail.
+  if (p > 0.5) return n - binomial(n, 1.0 - p);
+  // Split into chunks whose mean stays below the inversion cutoff.  Each
+  // split is exact: Binomial(a+b, p) =d Binomial(a, p) + Binomial(b, p)
+  // with independent summands.
+  const double max_trials_fp = kInversionCutoff / p;
+  const std::uint64_t max_trials =
+      max_trials_fp >= static_cast<double>(n)
+          ? n
+          : static_cast<std::uint64_t>(max_trials_fp);
+  std::uint64_t total = 0;
+  std::uint64_t remaining = n;
+  while (remaining > max_trials) {
+    total += binomial_inversion(max_trials, p);
+    remaining -= max_trials;
+  }
+  return total + binomial_inversion(remaining, p);
+}
+
+std::uint64_t Rng::geometric_failures(double p) {
+  NEATBOUND_EXPECTS(p > 0.0 && p <= 1.0,
+                    "geometric_failures requires p in (0,1]");
+  if (p == 1.0) return 0;
+  // Inversion: floor(ln U / ln(1-p)).
+  const double u = 1.0 - uniform();  // in (0, 1]
+  return static_cast<std::uint64_t>(std::floor(std::log(u) / std::log1p(-p)));
+}
+
+Rng Rng::split() noexcept {
+  Rng child(0);
+  child.gen_ = gen_.split();
+  return child;
+}
+
+}  // namespace neatbound

@@ -1,0 +1,44 @@
+// Fixed-width ASCII table printer used by the bench harnesses to emit the
+// paper's tables/series in a uniform, diffable format.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace neatbound {
+
+/// Column-oriented table with automatic width computation.
+///
+/// Usage:
+///   TablePrinter t({"c", "nu_max (ours)", "nu_max (PSS)"});
+///   t.add_row({format_sci(c), format_fixed(a, 6), format_fixed(b, 6)});
+///   t.print(std::cout);
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Number of data rows added so far.
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+  /// Renders with a header rule, right-aligned numeric-looking cells.
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats with `digits` significant digits in general format (%.Ng).
+[[nodiscard]] std::string format_general(double v, int digits = 6);
+
+/// Fixed-point with `digits` decimals.
+[[nodiscard]] std::string format_fixed(double v, int digits = 6);
+
+/// Scientific with `digits` decimals.
+[[nodiscard]] std::string format_sci(double v, int digits = 3);
+
+}  // namespace neatbound

@@ -1,0 +1,105 @@
+#include "bounds/confirmation.hpp"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "bounds/zhao.hpp"
+#include "support/contracts.hpp"
+
+namespace neatbound::bounds {
+namespace {
+
+ProtocolParams comfy_params() {
+  // c = 6 at ν = 0.25, Δ = 4: margin well above 1.
+  return ProtocolParams::from_c(200, 4, 0.25, 6.0);
+}
+
+TEST(Confirmation, BoundDecomposition) {
+  const auto bound = confirmation_failure_bound(comfy_params(), 4.0, 1e6);
+  EXPECT_GT(bound.delta1, 0.0);
+  EXPECT_GT(bound.delta2, 0.0);
+  EXPECT_LT(bound.delta2, 1.0);
+  EXPECT_GT(bound.delta3, 0.0);
+  EXPECT_LT(bound.log_c_tail, 0.0);
+  EXPECT_LT(bound.log_a_tail, 0.0);
+  // Union bound at least as large as each part.
+  EXPECT_GE(bound.log_failure, bound.log_c_tail);
+  EXPECT_GE(bound.log_failure, bound.log_a_tail);
+}
+
+TEST(Confirmation, Eq23SplitIsValid) {
+  // (1−δ₂)(1+δ₁) − (1+δ₃) must be positive — that's what makes the
+  // surviving gap Ω(T) in display (25).
+  const auto bound = confirmation_failure_bound(comfy_params(), 4.0, 1e5);
+  const double gap = (1.0 - bound.delta2) * (1.0 + bound.delta1) -
+                     (1.0 + bound.delta3);
+  EXPECT_GT(gap, 0.0);
+}
+
+TEST(Confirmation, ExponentialDecayInT) {
+  // ln failure must scale linearly with T (the paper's exp(−Ω(T))).
+  const auto params = comfy_params();
+  const auto b1 = confirmation_failure_bound(params, 4.0, 2e6);
+  const auto b2 = confirmation_failure_bound(params, 4.0, 4e6);
+  EXPECT_NEAR(b2.log_c_tail, 2.0 * b1.log_c_tail, std::fabs(b1.log_c_tail) * 0.01 + 1.0);
+}
+
+TEST(Confirmation, WindowMeetsTarget) {
+  const auto params = comfy_params();
+  const auto window =
+      required_confirmation_window(params, 4.0, 1e-9, 1e12);
+  ASSERT_TRUE(window.has_value());
+  EXPECT_GT(window->rounds, 0.0);
+  const auto at_window =
+      confirmation_failure_bound(params, 4.0, window->rounds * 1.01);
+  EXPECT_LE(at_window.log_failure, std::log(1e-9) + 0.1);
+  // Just below the window the target must not be met.
+  const auto below =
+      confirmation_failure_bound(params, 4.0, window->rounds * 0.9);
+  EXPECT_GT(below.log_failure, std::log(1e-9));
+}
+
+TEST(Confirmation, TighterTargetNeedsLongerWindow) {
+  const auto params = comfy_params();
+  const auto loose = required_confirmation_window(params, 4.0, 1e-3);
+  const auto tight = required_confirmation_window(params, 4.0, 1e-12);
+  ASSERT_TRUE(loose.has_value());
+  ASSERT_TRUE(tight.has_value());
+  EXPECT_GT(tight->rounds, loose->rounds);
+}
+
+TEST(Confirmation, ThinnerMarginNeedsLongerWindow) {
+  const auto strong = ProtocolParams::from_c(200, 4, 0.15, 6.0);
+  const auto weak = ProtocolParams::from_c(200, 4, 0.35, 6.0);
+  const auto ws = required_confirmation_window(strong, 4.0, 1e-9);
+  const auto ww = required_confirmation_window(weak, 4.0, 1e-9);
+  ASSERT_TRUE(ws.has_value());
+  ASSERT_TRUE(ww.has_value());
+  EXPECT_GT(ww->rounds, ws->rounds);
+}
+
+TEST(Confirmation, NoWindowBelowBound) {
+  // Below the consistency bound the margin is ≤ 1: no window exists.
+  const auto params = ProtocolParams::from_c(200, 4, 0.4, 0.8);
+  ASSERT_LT(theorem1_margin(params).log(), 0.0);
+  EXPECT_FALSE(required_confirmation_window(params, 4.0, 1e-9).has_value());
+}
+
+TEST(Confirmation, LargerPiNormWeakensBound) {
+  const auto params = comfy_params();
+  const auto tight = confirmation_failure_bound(params, 4.0, 1e6, 1.0);
+  const auto loose = confirmation_failure_bound(params, 4.0, 1e6, 100.0);
+  EXPECT_LT(tight.log_c_tail, loose.log_c_tail);
+}
+
+TEST(Confirmation, ContractChecks) {
+  EXPECT_THROW((void)confirmation_failure_bound(comfy_params(), 0.5, 1e5),
+               ContractViolation);
+  EXPECT_THROW((void)confirmation_failure_bound(comfy_params(), 4.0, 0.0),
+               ContractViolation);
+  EXPECT_THROW((void)required_confirmation_window(comfy_params(), 4.0, 2.0),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace neatbound::bounds

@@ -1,0 +1,134 @@
+#include "bounds/frontier.hpp"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "bounds/zhao.hpp"
+
+namespace neatbound::bounds {
+namespace {
+
+constexpr double kN = 1e5;
+constexpr double kDelta = 1e13;
+
+TEST(Frontier, NamesAreDistinct) {
+  EXPECT_NE(bound_name(BoundKind::kZhaoNeat),
+            bound_name(BoundKind::kPssConsistency));
+  EXPECT_FALSE(bound_name(BoundKind::kPssAttack).empty());
+}
+
+TEST(Frontier, NuMaxIsOnTheFrontier) {
+  // certifies just below, fails just above — for every predicate bound.
+  for (const BoundKind kind :
+       {BoundKind::kZhaoNeat, BoundKind::kZhaoTheorem2,
+        BoundKind::kZhaoTheorem1Exact, BoundKind::kPssConsistencyExact,
+        BoundKind::kKifferCorrected}) {
+    const double c = 5.0;
+    const double frontier = nu_max(kind, c, kN, kDelta);
+    ASSERT_GT(frontier, 0.0) << bound_name(kind);
+    const auto below =
+        ProtocolParams::from_c(kN, kDelta, frontier * 0.999, c);
+    const auto above = ProtocolParams::from_c(
+        kN, kDelta, std::min(0.4999, frontier * 1.001), c);
+    EXPECT_TRUE(certifies(kind, below)) << bound_name(kind);
+    EXPECT_FALSE(certifies(kind, above)) << bound_name(kind);
+  }
+}
+
+TEST(Frontier, PaperOrderingMagentaAboveBlue) {
+  // The paper's headline comparison: the Zhao frontier strictly dominates
+  // the PSS frontier at every plotted c.
+  for (const double c : {0.1, 0.3, 1.0, 2.0, 3.0, 10.0, 30.0, 100.0}) {
+    const double magenta = nu_max(BoundKind::kZhaoNeat, c, kN, kDelta);
+    const double blue = nu_max(BoundKind::kPssConsistency, c, kN, kDelta);
+    EXPECT_GT(magenta, blue) << "c=" << c;
+  }
+}
+
+TEST(Frontier, AttackLineAboveMagenta) {
+  // No contradiction: the attack threshold must lie above what the bound
+  // certifies (the gap is the open question the paper's §I discusses).
+  for (const double c : {0.1, 1.0, 3.0, 10.0, 100.0}) {
+    const double magenta = nu_max(BoundKind::kZhaoNeat, c, kN, kDelta);
+    const double red = nu_max(BoundKind::kPssAttack, c, kN, kDelta);
+    EXPECT_GT(red, magenta) << "c=" << c;
+  }
+}
+
+TEST(Frontier, Theorem1DominatesTheorem2) {
+  // Theorem 2 is derived from Theorem 1 by weakening; the exact Markov
+  // frontier must tolerate at least as much at every c.
+  for (const double c : {1.0, 2.0, 5.0, 20.0}) {
+    const double exact = nu_max(BoundKind::kZhaoTheorem1Exact, c, kN, kDelta);
+    const double neat = nu_max(BoundKind::kZhaoTheorem2, c, kN, kDelta);
+    EXPECT_GE(exact, neat * (1.0 - 1e-6)) << "c=" << c;
+  }
+}
+
+TEST(Frontier, NeatAndTheorem2AgreeAtPaperDelta) {
+  for (const double c : {0.5, 1.0, 5.0, 50.0}) {
+    const double neat = nu_max(BoundKind::kZhaoNeat, c, kN, kDelta);
+    const double full = nu_max(BoundKind::kZhaoTheorem2, c, kN, kDelta);
+    if (neat > 0.0) {
+      EXPECT_NEAR(full / neat, 1.0, 1e-6) << "c=" << c;
+    }
+  }
+}
+
+TEST(Frontier, MagentaHandValues) {
+  // Solve c = 2(1−ν)/ln((1−ν)/ν) by hand at ν = 1/3: c ≈ 1.9239.  So at
+  // c = 1.9239 the frontier is ≈ 1/3.
+  const double c = (4.0 / 3.0) / std::log(2.0);
+  EXPECT_NEAR(nu_max(BoundKind::kZhaoNeat, c, kN, kDelta), 1.0 / 3.0, 1e-6);
+}
+
+TEST(Frontier, NuMaxMonotoneInC) {
+  for (const BoundKind kind :
+       {BoundKind::kZhaoNeat, BoundKind::kPssConsistency,
+        BoundKind::kPssAttack, BoundKind::kZhaoTheorem1Exact}) {
+    double prev = -1.0;
+    for (const double c : {0.2, 0.5, 1.0, 2.5, 6.0, 15.0, 40.0, 100.0}) {
+      const double cur = nu_max(kind, c, kN, kDelta);
+      EXPECT_GE(cur, prev - 1e-9) << bound_name(kind) << " c=" << c;
+      prev = cur;
+    }
+  }
+}
+
+TEST(Frontier, CMinInvertsNuMax) {
+  for (const BoundKind kind :
+       {BoundKind::kZhaoNeat, BoundKind::kZhaoTheorem2,
+        BoundKind::kPssConsistency, BoundKind::kZhaoTheorem1Exact}) {
+    for (const double nu : {0.1, 0.3, 0.45}) {
+      const double c = c_min(kind, nu, kN, kDelta);
+      ASSERT_TRUE(std::isfinite(c)) << bound_name(kind);
+      const double back = nu_max(kind, c * 1.0001, kN, kDelta);
+      EXPECT_NEAR(back, nu, nu * 0.01)
+          << bound_name(kind) << " nu=" << nu;
+    }
+  }
+}
+
+TEST(Frontier, NuMaxApproachesHalfForHugeC) {
+  EXPECT_GT(nu_max(BoundKind::kZhaoNeat, 1e6, kN, kDelta), 0.499);
+  EXPECT_GT(nu_max(BoundKind::kPssConsistency, 1e6, kN, kDelta), 0.499);
+}
+
+TEST(Frontier, SmallCStillToleratesSomething) {
+  // Unlike PSS (zero below c = 2), the Zhao bound certifies a positive —
+  // if tiny — ν even at c = 0.1 (visible in Figure 1's left edge).
+  const double magenta = nu_max(BoundKind::kZhaoNeat, 0.1, kN, kDelta);
+  EXPECT_GT(magenta, 0.0);
+  EXPECT_LT(magenta, 1e-6);
+  EXPECT_EQ(nu_max(BoundKind::kPssConsistency, 0.1, kN, kDelta), 0.0);
+}
+
+TEST(Frontier, CertifiesAttackKindMeansNoAttack) {
+  const auto safe = ProtocolParams::from_c(kN, kDelta, 0.1, 10.0);
+  EXPECT_TRUE(certifies(BoundKind::kPssAttack, safe));
+  const auto unsafe = ProtocolParams::from_c(kN, kDelta, 0.45, 0.5);
+  EXPECT_FALSE(certifies(BoundKind::kPssAttack, unsafe));
+}
+
+}  // namespace
+}  // namespace neatbound::bounds

@@ -1,0 +1,123 @@
+#include "bounds/growth_quality.hpp"
+
+#include <cmath>
+#include <gtest/gtest.h>
+#include <memory>
+
+#include "sim/engine.hpp"
+#include "sim/strategies.hpp"
+#include "support/contracts.hpp"
+
+namespace neatbound::bounds {
+namespace {
+
+ProtocolParams lab_params(double delta, double c, double nu = 0.2) {
+  return ProtocolParams::from_c(40, delta, nu, c);
+}
+
+TEST(Growth, EstimatesStayInsideTheAlphaEnvelope) {
+  // Both estimates are positive and never exceed α (one level per
+  // H-round is the hard ceiling).
+  for (const double delta : {1.0, 2.0, 4.0, 8.0, 16.0}) {
+    for (const double c : {1.0, 4.0, 16.0}) {
+      const auto params = lab_params(delta, c);
+      const double pess = growth_pessimistic(params);
+      const double renewal = growth_renewal(params);
+      const double upper = growth_upper(params);
+      EXPECT_GT(pess, 0.0) << "delta=" << delta << " c=" << c;
+      EXPECT_LE(pess, upper * (1.0 + 1e-12));
+      EXPECT_LE(renewal, upper * (1.0 + 1e-12));
+    }
+  }
+}
+
+TEST(Growth, EstimatesCrossOverWithDeltaAlpha) {
+  // For small Δα the quiet-predecessor estimate exceeds the renewal one
+  // ((1−α)^{Δ−1}(1+Δα) > 1); for large Δα the inequality flips.  Both
+  // behaviours are expected — the estimates answer slightly different
+  // worst cases — and the simulator sits between them (see below).
+  const auto sparse = lab_params(2.0, 8.0);   // Δα ≪ 1
+  EXPECT_GT(growth_pessimistic(sparse), growth_renewal(sparse));
+  const auto dense = lab_params(16.0, 0.5);   // Δα ≳ 1
+  EXPECT_LT(growth_pessimistic(dense), growth_renewal(dense));
+}
+
+TEST(Growth, DeltaOneCollapsesPessimisticToAlpha) {
+  const auto params = lab_params(1.0, 4.0);
+  EXPECT_NEAR(growth_pessimistic(params), growth_upper(params), 1e-12);
+}
+
+TEST(Growth, SimulatedGrowthBracketedByBounds) {
+  // Max-delay delivery, no adversary blocks: measured growth must lie in
+  // [pessimistic, upper] and near the renewal estimate.
+  for (const std::uint64_t delta : {2ULL, 6ULL}) {
+    sim::EngineConfig config;
+    config.miner_count = 40;
+    config.adversary_fraction = 0.0;
+    config.delta = delta;
+    config.p = 0.003;
+    config.rounds = 30000;
+    config.seed = 17;
+    sim::ExecutionEngine engine(
+        config, std::make_unique<sim::MaxDelayAdversary>(delta));
+    const auto result = engine.run();
+    // All 40 simulated miners are honest; build params with μn = 40
+    // (n = 50, ν = 0.2) so the growth formulas see the right α.
+    const ProtocolParams params(50, 0.003, static_cast<double>(delta), 0.2);
+    EXPECT_GE(result.chain.growth_per_round,
+              growth_pessimistic(params) * 0.95)
+        << "delta=" << delta;
+    EXPECT_LE(result.chain.growth_per_round, growth_upper(params) * 1.05);
+    EXPECT_NEAR(result.chain.growth_per_round, growth_renewal(params),
+                growth_renewal(params) * 0.25);
+  }
+}
+
+TEST(Quality, BoundsAndClamping) {
+  const auto params = lab_params(4.0, 4.0, 0.3);
+  const double q = quality_bound_for_growth(params, growth_renewal(params));
+  EXPECT_GE(q, 0.0);
+  EXPECT_LE(q, 1.0);
+  // Absurdly small growth clamps to zero quality.
+  EXPECT_EQ(quality_bound_for_growth(params, 1e-12), 0.0);
+  EXPECT_THROW((void)quality_bound_for_growth(params, 0.0),
+               ContractViolation);
+}
+
+TEST(Quality, IdealShareHandValues) {
+  EXPECT_NEAR(quality_ideal_share(lab_params(4.0, 4.0, 0.25)),
+              1.0 - 0.25 / 0.75, 1e-12);
+  EXPECT_NEAR(quality_ideal_share(lab_params(4.0, 4.0, 0.4)),
+              1.0 - 0.4 / 0.6, 1e-9);
+}
+
+TEST(Quality, PessimisticWeakerThanIdealShare) {
+  // The adversarial displacement bound is weaker (lower) than the ideal
+  // fair-share line whenever growth < honest mining rate.
+  const auto params = lab_params(8.0, 2.0, 0.3);
+  EXPECT_LE(quality_pessimistic(params),
+            quality_ideal_share(params) + 1e-12);
+}
+
+TEST(Quality, SimulatedQualityAboveDisplacementBound) {
+  // Measured quality under withholding must respect 1 − pνn/g with the
+  // *measured* growth.
+  sim::EngineConfig config;
+  config.miner_count = 40;
+  config.adversary_fraction = 0.3;
+  config.delta = 3;
+  config.p = 0.002;
+  config.rounds = 40000;
+  config.seed = 23;
+  sim::ExecutionEngine engine(config,
+                              std::make_unique<sim::PrivateWithholdAdversary>());
+  const auto result = engine.run();
+  const auto params = ProtocolParams::from_c(
+      40, 3.0, 0.3, 1.0 / (0.002 * 40 * 3.0));
+  const double bound = quality_bound_for_growth(
+      params, result.chain.growth_per_round);
+  EXPECT_GE(result.chain.quality, bound - 0.05);
+}
+
+}  // namespace
+}  // namespace neatbound::bounds

@@ -1,0 +1,163 @@
+// Mechanical verification of the proof chain (52)–(59): each lemma's
+// inequality is checked across a parameter grid, and the implication
+// chain is checked end-to-end (whenever the (k+1)-th condition holds, the
+// k-th must hold too).
+#include "bounds/lemmas.hpp"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "bounds/zhao.hpp"
+#include "support/contracts.hpp"
+
+namespace neatbound::bounds {
+namespace {
+
+struct SweepCase {
+  double nu;
+  double delta;
+  double eps1;
+  double eps2;
+};
+
+class LemmaSweep : public ::testing::TestWithParam<SweepCase> {
+ protected:
+  /// A parameter point satisfying Inequality (50) with slack: c is put at
+  /// 2× the Theorem-2 infimum.
+  [[nodiscard]] ProtocolParams params() const {
+    const auto [nu, delta, eps1, eps2] = GetParam();
+    const double c = 2.0 * theorem2_c_infimum(nu, delta);
+    return ProtocolParams::from_c(1e5, delta, nu, c);
+  }
+  [[nodiscard]] double delta4() const {
+    const auto [nu, delta, eps1, eps2] = GetParam();
+    return delta4_from_epsilons(nu, eps1, eps2);
+  }
+};
+
+TEST_P(LemmaSweep, Lemma2AlphaOneLowerBound) {
+  const Lemma2Sides sides = lemma2_sides(params());
+  EXPECT_TRUE(sides.holds())
+      << "alpha1=" << sides.alpha1 << " lower=" << sides.lower_bound;
+}
+
+TEST_P(LemmaSweep, Lemma3Inequality70) {
+  const auto [nu, delta, eps1, eps2] = GetParam();
+  const auto p = params();
+  // Lemma 3 requires condition (50); enforce it before asserting (70).
+  if (!theorem3_pn_condition(p, eps1)) GTEST_SKIP();
+  const Lemma3Sides sides = lemma3_sides(p, eps1, delta4());
+  EXPECT_GT(sides.delta1, 0.0);
+  EXPECT_TRUE(sides.holds()) << "lhs=" << sides.lhs << " rhs=" << sides.rhs;
+}
+
+TEST_P(LemmaSweep, Proposition2Positive) {
+  const auto [nu, delta, eps1, eps2] = GetParam();
+  EXPECT_GT(proposition2_value(nu, delta, delta4()), 0.0);
+}
+
+TEST_P(LemmaSweep, Lemma5ThresholdOrdering) {
+  const Lemma5Sides sides = lemma5_sides(params(), delta4());
+  EXPECT_TRUE(sides.holds()) << "lhs=" << sides.lhs << " rhs=" << sides.rhs;
+}
+
+TEST_P(LemmaSweep, Lemma6StrictOrdering) {
+  const auto [nu, delta, eps1, eps2] = GetParam();
+  const Lemma6Sides sides = lemma6_sides(nu, delta, delta4());
+  EXPECT_TRUE(sides.holds()) << "lhs=" << sides.lhs << " rhs=" << sides.rhs;
+}
+
+TEST_P(LemmaSweep, Lemma8EpsilonBound) {
+  const auto [nu, delta, eps1, eps2] = GetParam();
+  const Lemma8Sides sides = lemma8_sides(nu, eps1, eps2);
+  EXPECT_TRUE(sides.holds()) << "lhs=" << sides.lhs << " rhs=" << sides.rhs;
+}
+
+TEST_P(LemmaSweep, ImplicationChainEndToEnd) {
+  // If condition (71) holds then (66) holds then (10) holds — i.e., the
+  // chain Lemma 3 → Lemma 2 → Theorem 1 fires at this parameter point.
+  const auto [nu, delta, eps1, eps2] = GetParam();
+  const auto p = params();
+  if (!theorem3_pn_condition(p, eps1)) GTEST_SKIP();
+  const double d4 = delta4();
+  const double d1 = delta1_from_delta4(nu, eps1, d4);
+  if (lemma3_condition_71(p, d4)) {
+    EXPECT_TRUE(lemma2_condition_66(p, d1))
+        << "Lemma 3's conclusion failed to imply Lemma 2's antecedent";
+    EXPECT_TRUE(theorem1_holds(p, d1))
+        << "Lemma 2's conclusion failed to imply Theorem 1";
+  }
+}
+
+TEST_P(LemmaSweep, CThresholdChainMonotone) {
+  // The chain of c-thresholds must be ordered:
+  //   (74) ≤ (77) < (80) ≤ (83)-with-μ/Δ ≤ (51)-shape,
+  // so each weakening step only raises the required c.
+  const auto [nu, delta, eps1, eps2] = GetParam();
+  const auto p = params();
+  const double d4 = delta4();
+  const double lg = std::log((1.0 - nu) / nu);
+  const double t74 = lemma4_c_threshold(p, d4);
+  const Lemma5Sides l5 = lemma5_sides(p, d4);
+  const double t77 = l5.lhs;
+  const double mu = 1.0 - nu;
+  const double one_minus_root = -std::expm1(-lg / (2.0 * delta));
+  const double t80 =
+      mu / (delta * one_minus_root) * (1.0 + d4 / (lg - d4));
+  const double t83 =
+      (2.0 * mu / lg + mu / delta) * (1.0 + d4 / (lg - d4));
+  EXPECT_LE(t74, t77 * (1.0 + 1e-12));
+  EXPECT_LT(t77, t80);
+  EXPECT_LE(t80, t83 * (1.0 + 1e-12));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, LemmaSweep,
+    ::testing::Values(SweepCase{0.1, 1e13, 0.3, 0.1},
+                      SweepCase{0.25, 1e13, 0.5, 0.01},
+                      SweepCase{0.4, 1e13, 0.1, 0.5},
+                      SweepCase{0.45, 1e6, 0.2, 0.05},
+                      SweepCase{0.05, 1e3, 0.7, 0.3},
+                      SweepCase{0.3, 100.0, 0.4, 0.2},
+                      SweepCase{0.2, 16.0, 0.25, 0.1},
+                      SweepCase{0.35, 4.0, 0.3, 0.4}));
+
+TEST(Lemma2, ExactlyEq100) {
+  // α₁ ≥ pμn(1−pμn) — also check it is reasonably tight for small pμn.
+  const ProtocolParams p(1000, 1e-5, 2, 0.2);
+  const Lemma2Sides sides = lemma2_sides(p);
+  EXPECT_TRUE(sides.holds());
+  EXPECT_NEAR(sides.alpha1 / sides.lower_bound, 1.0, 1e-3);
+}
+
+TEST(Lemma2, RequiresCondition65) {
+  // pμn ≥ 1 violates (65).
+  const ProtocolParams p(1000, 2e-3, 2, 0.2);  // pμn = 1.6
+  EXPECT_THROW((void)lemma2_sides(p), ContractViolation);
+}
+
+TEST(Lemma4, ThresholdImpliesInequality71) {
+  // Construct params with c exactly at the Lemma-4 threshold ×(1+ε) and
+  // verify (71) holds; at ×(1−ε) it must fail.
+  const double nu = 0.3, delta = 8.0;
+  const double eps1 = 0.3, eps2 = 0.1;
+  const double d4 = delta4_from_epsilons(nu, eps1, eps2);
+  const auto probe = ProtocolParams::from_c(1e4, delta, nu, 5.0);
+  const double threshold = lemma4_c_threshold(probe, d4);
+  // Note: the threshold depends on p only through c; re-solve with the
+  // same n, Δ.
+  const auto above =
+      ProtocolParams::from_c(1e4, delta, nu, threshold * 1.0001);
+  EXPECT_TRUE(lemma3_condition_71(above, d4));
+  const auto below =
+      ProtocolParams::from_c(1e4, delta, nu, threshold * 0.99);
+  EXPECT_FALSE(lemma3_condition_71(below, d4));
+}
+
+TEST(Proposition2, RequiresDelta4BelowLog) {
+  EXPECT_THROW((void)proposition2_value(0.3, 4.0, 10.0), ContractViolation);
+  EXPECT_THROW((void)proposition2_value(0.3, 4.0, 0.0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace neatbound::bounds

@@ -1,0 +1,75 @@
+#include "bounds/params.hpp"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "support/contracts.hpp"
+
+namespace neatbound::bounds {
+namespace {
+
+TEST(ProtocolParams, StoresAndDerives) {
+  const ProtocolParams params(1000, 1e-5, 10, 0.3);
+  EXPECT_EQ(params.n(), 1000);
+  EXPECT_EQ(params.p(), 1e-5);
+  EXPECT_EQ(params.delta(), 10);
+  EXPECT_EQ(params.nu(), 0.3);
+  EXPECT_DOUBLE_EQ(params.mu(), 0.7);
+  EXPECT_NEAR(params.c(), 1.0 / (1e-5 * 1000 * 10), 1e-9);
+  EXPECT_DOUBLE_EQ(params.honest_trials(), 700.0);
+  EXPECT_DOUBLE_EQ(params.adversary_trials(), 300.0);
+  EXPECT_NEAR(params.adversary_rate(), 1e-5 * 300, 1e-15);
+}
+
+TEST(ProtocolParams, FromCRoundTrips) {
+  const ProtocolParams params = ProtocolParams::from_c(1e5, 1e13, 0.25, 2.0);
+  EXPECT_NEAR(params.c(), 2.0, 1e-12);
+  EXPECT_NEAR(params.p(), 1.0 / (2.0 * 1e5 * 1e13), 1e-30);
+}
+
+TEST(ProtocolParams, AlphaIdentities) {
+  const ProtocolParams params(200, 1e-3, 4, 0.2);
+  // α + ᾱ = 1 (Eqs. 7–8).
+  EXPECT_NEAR((params.alpha() + params.alpha_bar()).linear(), 1.0, 1e-12);
+  // α₁ ≤ α, both positive.
+  EXPECT_LE(params.alpha1().log(), params.alpha().log());
+  EXPECT_GT(params.alpha1().linear(), 0.0);
+  // Explicit forms: ᾱ = (1−p)^{μn}, α₁ = pμn(1−p)^{μn−1}.
+  const double mu_n = params.honest_trials();
+  EXPECT_NEAR(params.alpha_bar().log(), mu_n * std::log1p(-1e-3), 1e-12);
+  EXPECT_NEAR(params.alpha1().log(),
+              std::log(1e-3 * mu_n) + (mu_n - 1) * std::log1p(-1e-3), 1e-12);
+}
+
+TEST(ProtocolParams, LogMuOverNu) {
+  const ProtocolParams params(100, 1e-4, 2, 0.25);
+  EXPECT_NEAR(params.log_mu_over_nu(), std::log(3.0), 1e-12);
+}
+
+TEST(ProtocolParams, PaperScaleAlphaDoesNotUnderflow) {
+  // Figure 1 parameters: n = 10⁵, Δ = 10¹³, c = 0.1 … 100.
+  const ProtocolParams params = ProtocolParams::from_c(1e5, 1e13, 0.49, 0.1);
+  EXPECT_TRUE(std::isfinite(params.alpha_bar().log()));
+  EXPECT_TRUE(std::isfinite(params.alpha1().log()));
+  EXPECT_LT(params.alpha_bar().log(), 0.0);
+  // ᾱ^{2Δ} = e^{−2μ/c} approximately: ln = 2Δ·μn·ln(1−p) ≈ −2μ/c.
+  const double expected = -2.0 * params.mu() / params.c();
+  EXPECT_NEAR(params.alpha_bar().pow(2.0 * params.delta()).log(), expected,
+              std::fabs(expected) * 1e-6);
+}
+
+TEST(ProtocolParams, ValidationContracts) {
+  EXPECT_THROW(ProtocolParams(3, 0.1, 1, 0.2), ContractViolation);   // n < 4
+  EXPECT_THROW(ProtocolParams(10, 0.0, 1, 0.2), ContractViolation);  // p = 0
+  EXPECT_THROW(ProtocolParams(10, 1.0, 1, 0.2), ContractViolation);  // p = 1
+  EXPECT_THROW(ProtocolParams(10, 0.1, 0.5, 0.2),
+               ContractViolation);  // Δ < 1
+  EXPECT_THROW(ProtocolParams(10, 0.1, 1, 0.0),
+               ContractViolation);  // ν = 0 violates (2)
+  EXPECT_THROW(ProtocolParams(10, 0.1, 1, 0.5),
+               ContractViolation);  // ν = ½ violates (2)
+  EXPECT_THROW(ProtocolParams::from_c(10, 1, 0.2, 0.0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace neatbound::bounds

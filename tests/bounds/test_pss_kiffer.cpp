@@ -1,0 +1,139 @@
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "bounds/kiffer.hpp"
+#include "bounds/pss.hpp"
+#include "support/contracts.hpp"
+
+namespace neatbound::bounds {
+namespace {
+
+TEST(Pss, SidesMatchDefinition) {
+  const ProtocolParams params(200, 1e-4, 4, 0.25);
+  const PssSides sides = pss_sides(params);
+  const double alpha = params.alpha().linear();
+  EXPECT_NEAR(sides.lhs, alpha * (1.0 - 10.0 * alpha), 1e-12);
+  EXPECT_NEAR(sides.rhs, params.adversary_rate(), 1e-15);
+}
+
+TEST(Pss, ClosedFormNuMaxHandValues) {
+  // c = 4: (2−4+√8)/2 = (−2+2.828)/2 ≈ 0.4142.
+  EXPECT_NEAR(pss_consistency_nu_max(4.0), (std::sqrt(8.0) - 2.0) / 2.0,
+              1e-12);
+  // c ≤ 2: no tolerance.
+  EXPECT_EQ(pss_consistency_nu_max(2.0), 0.0);
+  EXPECT_EQ(pss_consistency_nu_max(0.5), 0.0);
+}
+
+TEST(Pss, ClosedFormApproachesHalf) {
+  EXPECT_NEAR(pss_consistency_nu_max(1e6), 0.5, 1e-5);
+}
+
+TEST(Pss, CMinInvertsNuMax) {
+  for (const double nu : {0.05, 0.2, 0.35, 0.45}) {
+    const double c = pss_consistency_c_min(nu);
+    EXPECT_NEAR(pss_consistency_nu_max(c), nu, 1e-9) << "nu=" << nu;
+  }
+}
+
+TEST(Pss, CMinHandValue) {
+  // ν = ¼: 2·(0.75)²/0.5 = 2.25.
+  EXPECT_NEAR(pss_consistency_c_min(0.25), 2.25, 1e-12);
+}
+
+TEST(Pss, AttackThresholdHandValues) {
+  // c = 1: (2+1−√5)/2 ≈ 0.38197.
+  EXPECT_NEAR(pss_attack_nu_threshold(1.0), (3.0 - std::sqrt(5.0)) / 2.0,
+              1e-12);
+  // Large c → ½.
+  EXPECT_NEAR(pss_attack_nu_threshold(1e8), 0.5, 1e-8);
+}
+
+TEST(Pss, AttackConditionMatchesThreshold) {
+  for (const double c : {0.1, 0.5, 1.0, 3.0, 10.0}) {
+    const double threshold = pss_attack_nu_threshold(c);
+    EXPECT_TRUE(pss_attack_applies(threshold * 1.001, c)) << "c=" << c;
+    EXPECT_FALSE(pss_attack_applies(threshold * 0.999, c)) << "c=" << c;
+  }
+}
+
+TEST(Pss, ExactConditionTracksClosedFormAtPaperScale) {
+  // At n = 10⁵, Δ = 10¹³ the approximations α ≈ μnp and 2Δ+2 ≈ 2Δ are
+  // excellent, so exact and closed-form frontiers nearly coincide.
+  const double c = 5.0;
+  const double closed = pss_consistency_nu_max(c);
+  const auto just_below =
+      ProtocolParams::from_c(1e5, 1e13, closed * 0.995, c);
+  const auto just_above =
+      ProtocolParams::from_c(1e5, 1e13, std::min(0.499, closed * 1.005), c);
+  EXPECT_TRUE(pss_consistency_exact(just_below));
+  EXPECT_FALSE(pss_consistency_exact(just_above));
+}
+
+TEST(Pss, ContractChecks) {
+  EXPECT_THROW((void)pss_consistency_nu_max(0.0), ContractViolation);
+  EXPECT_THROW((void)pss_consistency_c_min(0.6), ContractViolation);
+  EXPECT_THROW((void)pss_attack_applies(0.0, 1.0), ContractViolation);
+}
+
+// --- Kiffer variants -----------------------------------------------------
+
+TEST(Kiffer, CorrectedNeverExceedsPublished) {
+  // ℓ_corrected = 1/α ≥ 1/(pμn) = ℓ_published (since α ≤ pμn), so the
+  // corrected opportunity rate is the smaller (more conservative) one.
+  for (const double c : {0.5, 2.0, 10.0}) {
+    for (const double nu : {0.1, 0.3}) {
+      const auto params = ProtocolParams::from_c(1000, 8, nu, c);
+      EXPECT_LE(
+          kiffer_opportunity_rate(params, KifferVariant::kCorrected),
+          kiffer_opportunity_rate(params, KifferVariant::kAsPublished) *
+              (1.0 + 1e-12));
+    }
+  }
+}
+
+TEST(Kiffer, VariantsCoincideForTinyBlockRate) {
+  // As pμn → 0, α → pμn and the flagged error becomes harmless — exactly
+  // the paper's point that the issue is with the *computation*, visible
+  // whenever pμn is non-negligible.
+  const auto params = ProtocolParams::from_c(1e5, 1e13, 0.2, 5.0);
+  const double a = kiffer_opportunity_rate(params, KifferVariant::kCorrected);
+  const double b =
+      kiffer_opportunity_rate(params, KifferVariant::kAsPublished);
+  EXPECT_NEAR(a / b, 1.0, 1e-9);
+}
+
+TEST(Kiffer, VariantsDivergeForLargeBlockRate) {
+  // pμn = 0.8 per round: α = 1−e^{−0.8}·ish ≈ 0.55, visibly below pμn.
+  // Δ = 1 keeps the 2Δ term from drowning the ℓ difference.
+  const ProtocolParams params(1000, 1e-3, 1, 0.2);
+  const double corrected =
+      kiffer_opportunity_rate(params, KifferVariant::kCorrected);
+  const double published =
+      kiffer_opportunity_rate(params, KifferVariant::kAsPublished);
+  EXPECT_LT(corrected / published, 0.9);
+}
+
+TEST(Kiffer, RateShape) {
+  // rate = 1/(2Δ + 2ℓ); for the corrected variant with α and Δ known:
+  const ProtocolParams params(100, 1e-3, 5, 0.25);
+  const double alpha = params.alpha().linear();
+  EXPECT_NEAR(kiffer_opportunity_rate(params, KifferVariant::kCorrected),
+              1.0 / (10.0 + 2.0 / alpha), 1e-12);
+}
+
+TEST(Kiffer, ConditionMonotoneInNu) {
+  // Higher ν must never turn a failing condition into a passing one.
+  const double c = 3.0;
+  bool prev = true;
+  for (double nu = 0.05; nu < 0.5; nu += 0.05) {
+    const auto params = ProtocolParams::from_c(1000, 8, nu, c);
+    const bool now =
+        kiffer_condition_holds(params, KifferVariant::kCorrected, 0.0);
+    EXPECT_TRUE(prev || !now) << "non-monotone at nu=" << nu;
+    prev = now;
+  }
+}
+
+}  // namespace
+}  // namespace neatbound::bounds

@@ -1,0 +1,233 @@
+#include "bounds/zhao.hpp"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "support/contracts.hpp"
+
+namespace neatbound::bounds {
+namespace {
+
+constexpr double kPaperN = 1e5;
+constexpr double kPaperDelta = 1e13;
+
+TEST(Theorem1, SidesMatchDefinitions) {
+  const ProtocolParams params(200, 1e-4, 4, 0.25);
+  const Theorem1Sides sides = theorem1_sides(params);
+  const double expected_lhs =
+      params.alpha_bar().pow(2.0 * params.delta()).log() +
+      params.alpha1().log();
+  EXPECT_NEAR(sides.convergence_rate.log(), expected_lhs, 1e-12);
+  EXPECT_NEAR(sides.adversary_rate.linear(), params.adversary_rate(), 1e-15);
+}
+
+TEST(Theorem1, HoldsWhenCWellAboveBound) {
+  // ν = 0.2 → neat bound ≈ 2·0.8/ln4 ≈ 1.154; c = 10 is far above.
+  const auto params = ProtocolParams::from_c(kPaperN, kPaperDelta, 0.2, 10.0);
+  EXPECT_TRUE(theorem1_holds(params, 0.1));
+  EXPECT_GT(theorem1_margin(params).log(), 0.0);
+}
+
+TEST(Theorem1, FailsWhenCWellBelowBound) {
+  const auto params = ProtocolParams::from_c(kPaperN, kPaperDelta, 0.2, 0.5);
+  EXPECT_FALSE(theorem1_holds(params, 0.01));
+  EXPECT_LT(theorem1_margin(params).log(), 0.0);
+}
+
+TEST(Theorem1, RequiresPositiveDelta1) {
+  const auto params = ProtocolParams::from_c(kPaperN, kPaperDelta, 0.2, 10.0);
+  EXPECT_THROW((void)theorem1_holds(params, 0.0), ContractViolation);
+}
+
+TEST(NeatBound, HandValues) {
+  // ν = 1/3: 2·(2/3)/ln2 ≈ 1.9239.
+  EXPECT_NEAR(neat_bound_c(1.0 / 3.0), (4.0 / 3.0) / std::log(2.0), 1e-12);
+  // ν → 0: bound → 0 (any c tolerates a vanishing adversary).
+  EXPECT_LT(neat_bound_c(1e-30), 0.03);
+}
+
+TEST(NeatBound, IncreasingInNu) {
+  double prev = 0.0;
+  for (double nu = 0.01; nu < 0.5; nu += 0.01) {
+    const double cur = neat_bound_c(nu);
+    EXPECT_GT(cur, prev) << "nu=" << nu;
+    prev = cur;
+  }
+}
+
+TEST(NeatBound, DivergesAtOneHalf) {
+  EXPECT_GT(neat_bound_c(0.4999999), 1e5);
+}
+
+TEST(Theorem1CMin, FrontierBracketsThePredicate) {
+  const double nu = 0.3, delta1 = 0.05;
+  const double c_min = theorem1_c_min(nu, kPaperN, kPaperDelta, delta1);
+  ASSERT_TRUE(std::isfinite(c_min));
+  EXPECT_FALSE(theorem1_holds(
+      ProtocolParams::from_c(kPaperN, kPaperDelta, nu, c_min * 0.999),
+      delta1));
+  EXPECT_TRUE(theorem1_holds(
+      ProtocolParams::from_c(kPaperN, kPaperDelta, nu, c_min * 1.001),
+      delta1));
+}
+
+TEST(Theorem1CMin, GrowsWithDelta1) {
+  // A larger witness δ₁ demands a larger c (more margin).
+  const double nu = 0.25;
+  const double small = theorem1_c_min(nu, kPaperN, kPaperDelta, 0.01);
+  const double large = theorem1_c_min(nu, kPaperN, kPaperDelta, 1.0);
+  EXPECT_GT(large, small);
+}
+
+TEST(Theorem1CMin, ApproachesNeatBoundAsDelta1Vanishes) {
+  const double nu = 0.2;
+  const double c_min = theorem1_c_min(nu, kPaperN, kPaperDelta, 1e-9);
+  EXPECT_NEAR(c_min, neat_bound_c(nu), neat_bound_c(nu) * 1e-3);
+}
+
+TEST(Theorem2, InfimumBarelyAboveNeatBoundAtPaperDelta) {
+  // The whole point of the paper: at Δ = 10¹³ the full Theorem 2 threshold
+  // exceeds 2μ/ln(μ/ν) only microscopically.
+  for (const double nu : {0.1, 0.25, 0.4, 0.49}) {
+    const double neat = neat_bound_c(nu);
+    const double full = theorem2_c_infimum(nu, kPaperDelta);
+    EXPECT_GT(full, neat);
+    EXPECT_LT((full - neat) / neat, 1e-11) << "nu=" << nu;
+  }
+}
+
+TEST(Theorem2, InfimumVisiblyAboveNeatBoundAtSmallDelta) {
+  // At Δ = 4 the 1/Δ and ε₁ terms matter.
+  const double neat = neat_bound_c(0.25);
+  const double full = theorem2_c_infimum(0.25, 4.0);
+  EXPECT_GT((full - neat) / neat, 0.05);
+}
+
+TEST(Theorem2, InfimumIsTheOptimalEpsilonChoice) {
+  // For any admissible (ε₁, ε₂), the RHS of (11) must be ≥ the infimum.
+  const double nu = 0.3, delta = 100.0;
+  const double inf = theorem2_c_infimum(nu, delta);
+  const double mu = 1.0 - nu;
+  const double lg = std::log(mu / nu);
+  for (const double eps1 : {0.05, 0.2, 0.5, 0.9}) {
+    for (const double eps2 : {1e-9, 0.01, 0.3}) {
+      const double term1 =
+          (2.0 * mu / lg + 1.0 / delta) * (1.0 + eps2) / (1.0 - eps1);
+      const double term2 = (lg + 1.0) * mu / (eps1 * delta * lg);
+      EXPECT_GE(std::max(term1, term2), inf * (1.0 - 1e-12));
+    }
+  }
+}
+
+TEST(Theorem2, PredicateConsistentWithConditions) {
+  const auto params = ProtocolParams::from_c(kPaperN, kPaperDelta, 0.3, 5.0);
+  // Pick the equalizing ε₁ and tiny ε₂: both conditions must pass since
+  // c = 5 is far above the infimum (≈ 1.65).
+  const double mu = params.mu();
+  const double lg = params.log_mu_over_nu();
+  const double a = 2.0 * mu / lg + 1.0 / params.delta();
+  const double b = (lg + 1.0) * mu / (params.delta() * lg);
+  const double eps1 = b / (a + b);
+  EXPECT_TRUE(theorem2_holds(params, eps1, 1e-6));
+  EXPECT_TRUE(theorem3_pn_condition(params, eps1));
+  EXPECT_TRUE(theorem3_c_condition(params, eps1, 1e-6));
+}
+
+TEST(Theorem2, FailsBelowInfimum) {
+  const double nu = 0.3;
+  const double c_inf = theorem2_c_infimum(nu, kPaperDelta);
+  const auto params =
+      ProtocolParams::from_c(kPaperN, kPaperDelta, nu, c_inf * 0.9);
+  for (const double eps1 : {0.01, 0.1, 0.5, 0.9}) {
+    EXPECT_FALSE(theorem2_holds(params, eps1, 1e-9));
+  }
+}
+
+TEST(Deltas, Positivity6063) {
+  // Eq. (60)/(61): δ₄ > 0 and δ₁ > 0 for all 0 < ε₁ < 1, ε₂ > 0 (the
+  // paper's display (62)–(63)).
+  for (const double nu : {0.05, 0.25, 0.45}) {
+    for (const double eps1 : {0.05, 0.4, 0.9}) {
+      for (const double eps2 : {1e-6, 0.1, 2.0}) {
+        const double d4 = delta4_from_epsilons(nu, eps1, eps2);
+        EXPECT_GT(d4, 0.0);
+        const double d1 = delta1_from_delta4(nu, eps1, d4);
+        EXPECT_GT(d1, 0.0)
+            << "nu=" << nu << " eps1=" << eps1 << " eps2=" << eps2;
+        // δ₄ < ln(μ/ν) (condition 73, shown in Remark 5).
+        EXPECT_LT(d4, std::log((1.0 - nu) / nu));
+      }
+    }
+  }
+}
+
+TEST(Lemma7, SandwichHoldsAcrossScales) {
+  for (const double nu : {1e-10, 0.01, 0.25, 0.49}) {
+    for (const double delta : {1.0, 4.0, 1e3, 1e13}) {
+      const Lemma7Sandwich s = lemma7_sandwich(nu, delta);
+      EXPECT_TRUE(s.holds()) << "nu=" << nu << " delta=" << delta
+                             << " [" << s.lower << ", " << s.middle << ", "
+                             << s.upper << "]";
+    }
+  }
+}
+
+TEST(Lemma7, MiddleApproachesLowerForLargeDelta) {
+  const Lemma7Sandwich s = lemma7_sandwich(0.3, 1e13);
+  EXPECT_NEAR(s.middle, s.lower, s.lower * 1e-9);
+}
+
+// --- Remark 1 ------------------------------------------------------------
+
+TEST(Remark1, FirstExponentPairMatchesPaper) {
+  // (δ₁, δ₂) = (1/6, 1/2) at Δ = 10¹³ → Inequalities (14)–(15):
+  //   10⁻⁶³ ≤ ν ≤ ½ − 10⁻⁷ and factor ≈ 1 + 5·10⁻⁵.
+  const Remark1Window w = remark1_window(1e13, 1.0 / 6.0, 1.0 / 2.0);
+  // ν_lo ≈ e^{−Δ^{1/6}} = e^{−147.36} ≈ 9.1·10⁻⁶⁵ (paper rounds to 10⁻⁶³).
+  EXPECT_NEAR(std::log10(w.nu_lo), -64.0, 1.0);
+  // ½ − ν_hi ≈ 7.9·10⁻⁸ (paper: 10⁻⁷).
+  EXPECT_NEAR(std::log10(w.half_minus_hi), -7.1, 0.2);
+  // factor − 1 ≈ 4.64·10⁻⁵ (paper: 5·10⁻⁵).
+  EXPECT_NEAR(w.factor_minus_one, 5e-5, 1e-5);
+}
+
+TEST(Remark1, SecondExponentPairMatchesPaper) {
+  // (δ₁, δ₂) = (1/8, 2/3) → Inequalities (16)–(17):
+  //   10⁻¹⁸ ≤ ν ≤ ½ − 10⁻⁹ and factor ≈ 1 + 2·10⁻³.
+  const Remark1Window w = remark1_window(1e13, 1.0 / 8.0, 2.0 / 3.0);
+  EXPECT_NEAR(std::log10(w.nu_lo), -18.3, 0.5);
+  EXPECT_NEAR(std::log10(w.half_minus_hi), -9.3, 0.3);
+  EXPECT_NEAR(w.factor_minus_one, 2e-3, 3e-4);
+}
+
+TEST(Remark1, WindowWidensAsFactorLoosens) {
+  // Raising δ₂ extends the upper end of the window (ν closer to ½) at the
+  // price of a larger factor — the trade-off Remark 1 walks through.
+  const Remark1Window tight = remark1_window(1e13, 1.0 / 6.0, 1.0 / 2.0);
+  const Remark1Window wide = remark1_window(1e13, 1.0 / 8.0, 2.0 / 3.0);
+  EXPECT_LT(wide.half_minus_hi, tight.half_minus_hi);
+  EXPECT_GT(wide.factor_minus_one, tight.factor_minus_one);
+}
+
+TEST(Remark1, ThresholdBarelyAboveNeatBound) {
+  const double nu = 0.25;
+  const double threshold =
+      remark1_c_threshold(nu, 1e13, 1.0 / 6.0, 1.0 / 2.0, /*eps2=*/0.0);
+  const double neat = neat_bound_c(nu);
+  EXPECT_GT(threshold, neat);
+  EXPECT_LT((threshold - neat) / neat, 1e-4);
+}
+
+TEST(Remark1, RejectsProbeOutsideWindow) {
+  EXPECT_THROW(
+      (void)remark1_c_threshold(1e-70, 1e13, 1.0 / 8.0, 2.0 / 3.0, 0.0),
+      ContractViolation);
+}
+
+TEST(Remark1, RejectsBadExponents) {
+  EXPECT_THROW((void)remark1_window(1e13, 0.5, 0.6), ContractViolation);
+  EXPECT_THROW((void)remark1_window(1e13, 0.0, 0.5), ContractViolation);
+}
+
+}  // namespace
+}  // namespace neatbound::bounds

@@ -1,0 +1,144 @@
+#include "chains/concatenated_chain.hpp"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "markov/stationary.hpp"
+#include "markov/structure.hpp"
+#include "support/contracts.hpp"
+
+namespace neatbound::chains {
+namespace {
+
+DetailedStateModel model_for(std::uint32_t m, double p) {
+  return DetailedStateModel{.honest_trials = static_cast<double>(m), .p = p};
+}
+
+TEST(ConcatenatedSpace, SizeIsProduct) {
+  // (2Δ+1)·(m+1)^{Δ+1}.
+  const ConcatenatedStateSpace s1(1, 3);
+  EXPECT_EQ(s1.size(), 3u * 16u);
+  const ConcatenatedStateSpace s2(2, 2);
+  EXPECT_EQ(s2.size(), 5u * 27u);
+}
+
+TEST(ConcatenatedSpace, IndexDecodeRoundTrips) {
+  const ConcatenatedStateSpace space(2, 2);
+  SuffixState f;
+  std::vector<std::uint32_t> window;
+  for (std::size_t i = 0; i < space.size(); ++i) {
+    space.decode(i, f, window);
+    EXPECT_EQ(space.index_of(f, window), i);
+  }
+}
+
+TEST(ConcatenatedSpace, ConvergenceVertexDecodes) {
+  const ConcatenatedStateSpace space(3, 2);
+  SuffixState f;
+  std::vector<std::uint32_t> window;
+  space.decode(space.convergence_vertex(), f, window);
+  EXPECT_EQ(f.kind, SuffixKind::kLongGap);
+  ASSERT_EQ(window.size(), 4u);
+  EXPECT_EQ(window[0], 1u);  // H₁
+  EXPECT_EQ(window[1], 0u);
+  EXPECT_EQ(window[2], 0u);
+  EXPECT_EQ(window[3], 0u);
+}
+
+TEST(ConcatenatedSpace, RejectsOversizedSpace) {
+  EXPECT_THROW(ConcatenatedStateSpace(8, 8), ContractViolation);
+}
+
+TEST(ConcatenatedChain, MatrixStochasticAndErgodic) {
+  const ConcatenatedStateSpace space(2, 2);
+  const auto matrix =
+      build_concatenated_matrix(space, model_for(2, 0.15));
+  EXPECT_NO_THROW(matrix.check_stochastic(1e-9));
+  // The paper asserts C_{F‖P} is irreducible and ergodic (§V-A).
+  EXPECT_TRUE(markov::is_irreducible(matrix));
+  EXPECT_TRUE(markov::is_ergodic(matrix));
+}
+
+TEST(ConcatenatedChain, ProductFormIsStationary) {
+  // The heart of Appendix J / Eq. (40): π_F(f)·ΠP[sⁱ] solves π = πP for
+  // the *explicit* transition matrix.
+  for (const std::uint32_t m : {1u, 2u, 3u}) {
+    for (const double p : {0.05, 0.3}) {
+      const ConcatenatedStateSpace space(2, m);
+      const auto matrix = build_concatenated_matrix(space, model_for(m, p));
+      const auto pi = concatenated_stationary_product_form(space,
+                                                           model_for(m, p));
+      double sum = 0.0;
+      for (const double x : pi) sum += x;
+      EXPECT_NEAR(sum, 1.0, 1e-10) << "m=" << m << " p=" << p;
+      EXPECT_LT(markov::stationarity_residual(matrix, pi), 1e-10)
+          << "m=" << m << " p=" << p;
+    }
+  }
+}
+
+TEST(ConcatenatedChain, NumericSolverAgreesWithProductForm) {
+  const ConcatenatedStateSpace space(1, 3);
+  const auto model = model_for(3, 0.2);
+  const auto matrix = build_concatenated_matrix(space, model);
+  const auto product = concatenated_stationary_product_form(space, model);
+  const auto solved = markov::solve_stationary_power(matrix);
+  ASSERT_TRUE(solved.converged);
+  for (std::size_t i = 0; i < space.size(); ++i) {
+    EXPECT_NEAR(solved.distribution[i], product[i], 1e-9) << "state " << i;
+  }
+}
+
+TEST(ConcatenatedChain, ConvergenceVertexMassIsEq44) {
+  // π(HN^{≥Δ} ‖ H₁N^Δ) = ᾱ^{2Δ}·α₁, verified against the numerically
+  // solved stationary distribution of the explicit chain.
+  for (const std::uint64_t delta : {1ULL, 2ULL}) {
+    const std::uint32_t m = 3;
+    const double p = 0.1;
+    const ConcatenatedStateSpace space(delta, m);
+    const auto model = model_for(m, p);
+    const auto matrix = build_concatenated_matrix(space, model);
+    const auto solved = markov::solve_stationary_power(matrix);
+    ASSERT_TRUE(solved.converged);
+    const double expected = convergence_opportunity_probability(
+                                model.prob_n(), model.prob_one(), delta)
+                                .linear();
+    EXPECT_NEAR(solved.distribution[space.convergence_vertex()], expected,
+                1e-9)
+        << "delta=" << delta;
+  }
+}
+
+TEST(ConcatenatedChain, MinStationaryMatchesProposition1) {
+  // Proposition 1's min π_{F‖P} formula vs the true minimum of the
+  // product-form vector.
+  const ConcatenatedStateSpace space(2, 2);
+  const auto model = model_for(2, 0.2);
+  const auto pi = concatenated_stationary_product_form(space, model);
+  double min_pi = 1.0;
+  for (const double x : pi) min_pi = std::min(min_pi, x);
+  const double closed =
+      min_stationary_concatenated(model, 2, model.prob_n()).linear();
+  EXPECT_NEAR(closed, min_pi, min_pi * 1e-9);
+}
+
+TEST(ConcatenatedChain, PiNormBoundHolds) {
+  // ‖φ‖_π ≤ 1/sqrt(min π) for any initial distribution φ — spot-check a
+  // point mass at the convergence vertex.
+  const ConcatenatedStateSpace space(1, 2);
+  const auto model = model_for(2, 0.25);
+  const auto pi = concatenated_stationary_product_form(space, model);
+  std::vector<double> phi(space.size(), 0.0);
+  phi[space.convergence_vertex()] = 1.0;
+  double norm = 0.0;
+  for (std::size_t i = 0; i < phi.size(); ++i) {
+    if (phi[i] > 0) norm += phi[i] * phi[i] / pi[i];
+  }
+  norm = std::sqrt(norm);
+  double min_pi = 1.0;
+  for (const double x : pi) min_pi = std::min(min_pi, x);
+  EXPECT_LE(norm, 1.0 / std::sqrt(min_pi) + 1e-12);
+}
+
+}  // namespace
+}  // namespace neatbound::chains

@@ -1,0 +1,145 @@
+#include "chains/convergence.hpp"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "stats/distributions.hpp"
+#include "support/contracts.hpp"
+
+namespace neatbound::chains {
+namespace {
+
+TEST(DetailedStateModel, MatchesBinomialPmf) {
+  const DetailedStateModel model{.honest_trials = 20, .p = 0.1};
+  const stats::Binomial binom(20, 0.1);
+  EXPECT_NEAR(model.prob_n().log(), binom.prob_zero().log(), 1e-12);
+  EXPECT_NEAR(model.prob_one().log(), binom.prob_one().log(), 1e-12);
+  EXPECT_NEAR(model.prob_some().log(), binom.prob_positive().log(), 1e-12);
+  for (std::uint64_t h : {1ULL, 2ULL, 5ULL}) {
+    EXPECT_NEAR(model.prob_h(h).log(),
+                binom.pmf(static_cast<double>(h)).log(), 1e-12);
+  }
+}
+
+TEST(DetailedStateModel, MinDetailedProbEq97) {
+  // p ≤ ½ → min is p^{μn} (all honest miners succeed at once).
+  const DetailedStateModel small_p{.honest_trials = 10, .p = 0.2};
+  EXPECT_NEAR(small_p.min_detailed_prob().log(), 10.0 * std::log(0.2),
+              1e-12);
+  // p > ½ → min is (1−p)^{μn} (nobody succeeds).
+  const DetailedStateModel large_p{.honest_trials = 10, .p = 0.8};
+  EXPECT_NEAR(large_p.min_detailed_prob().log(), 10.0 * std::log(0.2),
+              1e-12);
+}
+
+TEST(DetailedStateModel, HZeroRejected) {
+  const DetailedStateModel model{.honest_trials = 10, .p = 0.1};
+  EXPECT_THROW((void)model.prob_h(0), ContractViolation);
+}
+
+TEST(ConvergenceProbability, Eq44Product) {
+  // π = ᾱ^{2Δ}·α₁ exactly.
+  const LogProb abar = LogProb::from_linear(0.9);
+  const LogProb a1 = LogProb::from_linear(0.08);
+  const LogProb pi = convergence_opportunity_probability(abar, a1, 3);
+  EXPECT_NEAR(pi.linear(), std::pow(0.9, 6.0) * 0.08, 1e-12);
+}
+
+TEST(ConvergenceProbability, PaperScale) {
+  // Paper scale: ᾱ^{2Δ} ≈ e^{−2μ/c}; with μ/c = 0.375: e^{−0.75}.
+  const std::uint64_t delta = 10000000000000ULL;  // 10¹³
+  const LogProb abar = LogProb::from_log(-3.75e-14 / 1e13);
+  const LogProb a1 = LogProb::from_linear(1e-14);
+  const LogProb pi = convergence_opportunity_probability(abar, a1, delta);
+  EXPECT_NEAR(pi.log(), -2.0 * 3.75e-14 / 1e13 * 1e13 + std::log(1e-14),
+              1e-9);
+}
+
+TEST(ExpectedConvergence, Eq26LinearInWindow) {
+  const LogProb abar = LogProb::from_linear(0.95);
+  const LogProb a1 = LogProb::from_linear(0.04);
+  const double t1 =
+      expected_convergence_opportunities(abar, a1, 2, 1000).linear();
+  const double t2 =
+      expected_convergence_opportunities(abar, a1, 2, 2000).linear();
+  EXPECT_NEAR(t2, 2.0 * t1, 1e-9);
+}
+
+TEST(MinStationaryConcatenated, Proposition1Product) {
+  // min π_{F‖P} = min π_F · (min detailed)^{Δ+1}.
+  const DetailedStateModel model{.honest_trials = 8, .p = 0.25};
+  const std::uint64_t delta = 3;
+  const LogProb abar = model.prob_n();
+  const LogProb expected =
+      min_stationary_suffix(delta, abar) *
+      model.min_detailed_prob().pow(static_cast<double>(delta) + 1.0);
+  EXPECT_NEAR(min_stationary_concatenated(model, delta, abar).log(),
+              expected.log(), 1e-12);
+}
+
+// --- count_convergence_opportunities ------------------------------------
+
+TEST(CountOpportunities, SimplePattern) {
+  // Δ = 2; genesis provides the leading quiet H.  Series:
+  // round:  0 1 2 3 4
+  // blocks: 0 0 1 0 0   → round 2 is H₁ with quiet-before = 2 (+ genesis)
+  //                       and quiet-after = 2 → one opportunity.
+  const std::vector<std::uint32_t> counts = {0, 0, 1, 0, 0};
+  EXPECT_EQ(count_convergence_opportunities(counts, 2), 1u);
+}
+
+TEST(CountOpportunities, GenesisSuppliesLeadingQuiet) {
+  // H₁ at round 0 counts if Δ quiet rounds follow (quiet_before starts
+  // at Δ thanks to genesis).
+  const std::vector<std::uint32_t> counts = {1, 0, 0};
+  EXPECT_EQ(count_convergence_opportunities(counts, 2), 1u);
+}
+
+TEST(CountOpportunities, TwoBlocksInRoundDisqualify) {
+  const std::vector<std::uint32_t> counts = {0, 0, 2, 0, 0};
+  EXPECT_EQ(count_convergence_opportunities(counts, 2), 0u);
+}
+
+TEST(CountOpportunities, ShortQuietBeforeDisqualifies) {
+  // Block at round 1 breaks the pre-quiet of the H₁ at round 2.
+  const std::vector<std::uint32_t> counts = {0, 1, 1, 0, 0, 0, 0};
+  EXPECT_EQ(count_convergence_opportunities(counts, 2), 0u);
+}
+
+TEST(CountOpportunities, ShortQuietAfterDisqualifies) {
+  const std::vector<std::uint32_t> counts = {0, 0, 1, 1, 0, 0, 0};
+  EXPECT_EQ(count_convergence_opportunities(counts, 2), 0u);
+}
+
+TEST(CountOpportunities, TruncatedTailDoesNotCount) {
+  // Quiet-after extends past the end of the window: not counted (the
+  // window must contain the full N^Δ suffix).
+  const std::vector<std::uint32_t> counts = {0, 0, 1, 0};
+  EXPECT_EQ(count_convergence_opportunities(counts, 2), 0u);
+}
+
+TEST(CountOpportunities, MultipleOpportunities) {
+  // Δ = 1: pattern "1 0" repeated, with genesis leading.
+  const std::vector<std::uint32_t> counts = {1, 0, 1, 0, 1, 0};
+  EXPECT_EQ(count_convergence_opportunities(counts, 1), 3u);
+}
+
+TEST(CountOpportunities, BackToBackBlocksDelta1) {
+  const std::vector<std::uint32_t> counts = {1, 1, 0, 0};
+  // Round 0: quiet-after fails (round 1 has a block).
+  // Round 1: quiet-before = 0 < Δ.  So zero opportunities.
+  EXPECT_EQ(count_convergence_opportunities(counts, 1), 0u);
+}
+
+TEST(CountOpportunities, EmptySeries) {
+  const std::vector<std::uint32_t> counts;
+  EXPECT_EQ(count_convergence_opportunities(counts, 3), 0u);
+}
+
+TEST(CountOpportunities, AllQuiet) {
+  const std::vector<std::uint32_t> counts(20, 0);
+  EXPECT_EQ(count_convergence_opportunities(counts, 3), 0u);
+}
+
+}  // namespace
+}  // namespace neatbound::chains

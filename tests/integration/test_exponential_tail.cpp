@@ -1,0 +1,79 @@
+// Definition 1's "overwhelming probability in T": above the bound, the
+// probability that consistency fails for a given window parameter T must
+// decay (at least) exponentially in T.  We estimate the survival function
+// of the observed violation depth over many independent executions and
+// check it is monotone and collapses rapidly.
+#include <algorithm>
+#include <gtest/gtest.h>
+#include <memory>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/strategies.hpp"
+
+namespace neatbound::sim {
+namespace {
+
+std::vector<std::uint64_t> violation_depths(double nu, double c,
+                                            std::uint32_t seeds) {
+  std::vector<std::uint64_t> depths;
+  depths.reserve(seeds);
+  for (std::uint32_t k = 0; k < seeds; ++k) {
+    EngineConfig config;
+    config.miner_count = 30;
+    config.adversary_fraction = nu;
+    config.delta = 3;
+    config.p = 1.0 / (c * 30.0 * 3.0);
+    config.rounds = 6000;
+    config.seed = 9000 + k;
+    ExecutionEngine engine(config,
+                           std::make_unique<PrivateWithholdAdversary>());
+    depths.push_back(engine.run().violation_depth);
+  }
+  return depths;
+}
+
+double survival(const std::vector<std::uint64_t>& depths, std::uint64_t t) {
+  const auto above = static_cast<double>(
+      std::count_if(depths.begin(), depths.end(),
+                    [t](std::uint64_t d) { return d > t; }));
+  return above / static_cast<double>(depths.size());
+}
+
+TEST(ExponentialTail, SurvivalCollapsesAboveTheBound) {
+  // ν = 0.2, c = 6 ≫ neat bound 1.15: P[depth > T] must fall off fast.
+  const auto depths = violation_depths(0.2, 6.0, 40);
+  const double s2 = survival(depths, 2);
+  const double s5 = survival(depths, 5);
+  const double s9 = survival(depths, 9);
+  // Monotone survival...
+  EXPECT_GE(s2, s5);
+  EXPECT_GE(s5, s9);
+  // ...with a rapid collapse: almost no run needs T > 9.
+  EXPECT_LE(s9, 0.10);
+  // And the tail genuinely thins between 2 and 9 (not flat).
+  EXPECT_LT(s9, s2);
+}
+
+TEST(ExponentialTail, FatterTailBelowTheBound) {
+  // Same adversary at c = 0.7 < bound ≈ 1.15: deep violations dominate.
+  const auto safe = violation_depths(0.2, 6.0, 25);
+  const auto unsafe = violation_depths(0.2, 0.7, 25);
+  EXPECT_GT(survival(unsafe, 9), survival(safe, 9) + 0.3);
+}
+
+TEST(ExponentialTail, DepthQuantilesOrderedInC) {
+  // Median violation depth decreases as c rises through the bound.
+  auto median = [](std::vector<std::uint64_t> v) {
+    std::sort(v.begin(), v.end());
+    return v[v.size() / 2];
+  };
+  const auto low = median(violation_depths(0.25, 0.8, 15));
+  const auto mid = median(violation_depths(0.25, 2.0, 15));
+  const auto high = median(violation_depths(0.25, 8.0, 15));
+  EXPECT_GE(low, mid);
+  EXPECT_GE(mid, high);
+}
+
+}  // namespace
+}  // namespace neatbound::sim

@@ -1,0 +1,79 @@
+#include "markov/chain.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/contracts.hpp"
+
+namespace neatbound::markov {
+namespace {
+
+TransitionMatrix two_state(double a, double b) {
+  // P(0→1) = a, P(1→0) = b.
+  TransitionMatrix m(2);
+  m.set(0, 0, 1.0 - a);
+  m.set(0, 1, a);
+  m.set(1, 0, b);
+  m.set(1, 1, 1.0 - b);
+  return m;
+}
+
+TEST(TransitionMatrix, SetGetAdd) {
+  TransitionMatrix m(3);
+  m.set(0, 1, 0.25);
+  m.add(0, 1, 0.25);
+  EXPECT_DOUBLE_EQ(m.get(0, 1), 0.5);
+  EXPECT_DOUBLE_EQ(m.get(1, 2), 0.0);
+}
+
+TEST(TransitionMatrix, RowSumAndStochasticCheck) {
+  auto m = two_state(0.3, 0.6);
+  EXPECT_NEAR(m.row_sum(0), 1.0, 1e-15);
+  EXPECT_NO_THROW(m.check_stochastic());
+  m.set(0, 0, 0.5);  // row 0 now sums to 0.8
+  EXPECT_THROW(m.check_stochastic(), ContractViolation);
+}
+
+TEST(TransitionMatrix, ApplyLeftEvolvesDistribution) {
+  const auto m = two_state(0.5, 0.5);
+  std::vector<double> x = {1.0, 0.0};
+  std::vector<double> y(2);
+  m.apply_left(x, y);
+  EXPECT_DOUBLE_EQ(y[0], 0.5);
+  EXPECT_DOUBLE_EQ(y[1], 0.5);
+}
+
+TEST(TransitionMatrix, ApplyLeftSizeChecked) {
+  const auto m = two_state(0.5, 0.5);
+  std::vector<double> x = {1.0};
+  std::vector<double> y(2);
+  EXPECT_THROW(m.apply_left(x, y), ContractViolation);
+}
+
+TEST(TransitionMatrix, IndexBoundsChecked) {
+  TransitionMatrix m(2);
+  EXPECT_THROW((void)m.get(2, 0), ContractViolation);
+  EXPECT_THROW(m.set(0, 2, 0.1), ContractViolation);
+  EXPECT_THROW(m.set(0, 0, 1.5), ContractViolation);
+}
+
+TEST(MarkovChain, ValidatesOnConstruction) {
+  TransitionMatrix bad(2);
+  bad.set(0, 0, 0.5);  // rows don't sum to 1
+  EXPECT_THROW(MarkovChain{std::move(bad)}, ContractViolation);
+}
+
+TEST(MarkovChain, DefaultAndCustomNames) {
+  const MarkovChain unnamed(two_state(0.2, 0.4));
+  EXPECT_EQ(unnamed.state_name(0), "s0");
+  const MarkovChain named(two_state(0.2, 0.4), {"idle", "busy"});
+  EXPECT_EQ(named.state_name(1), "busy");
+  EXPECT_EQ(named.size(), 2u);
+}
+
+TEST(MarkovChain, NameCountMustMatch) {
+  EXPECT_THROW(MarkovChain(two_state(0.2, 0.4), {"only-one"}),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace neatbound::markov

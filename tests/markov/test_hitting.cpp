@@ -1,0 +1,106 @@
+#include "markov/hitting.hpp"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "chains/concatenated_chain.hpp"
+#include "chains/suffix_chain.hpp"
+#include "markov/stationary.hpp"
+#include "support/contracts.hpp"
+
+namespace neatbound::markov {
+namespace {
+
+TEST(Hitting, TwoStateClosedForm) {
+  // P(0→1) = a: expected steps from 0 to 1 is 1/a (geometric).
+  const double a = 0.25;
+  TransitionMatrix m(2);
+  m.set(0, 0, 1.0 - a);
+  m.set(0, 1, a);
+  m.set(1, 0, 1.0);
+  const auto h = expected_hitting_times(m, 1);
+  EXPECT_NEAR(h[0], 1.0 / a, 1e-12);
+  EXPECT_EQ(h[1], 0.0);
+}
+
+TEST(Hitting, DeterministicCycle) {
+  TransitionMatrix m(4);
+  for (std::size_t i = 0; i < 4; ++i) m.set(i, (i + 1) % 4, 1.0);
+  const auto h = expected_hitting_times(m, 0);
+  EXPECT_NEAR(h[1], 3.0, 1e-12);
+  EXPECT_NEAR(h[2], 2.0, 1e-12);
+  EXPECT_NEAR(h[3], 1.0, 1e-12);
+  EXPECT_NEAR(expected_return_time(m, 0), 4.0, 1e-12);
+}
+
+TEST(Hitting, UnreachableTargetThrows) {
+  TransitionMatrix m(2);
+  m.set(0, 0, 1.0);  // absorbing; never reaches 1
+  m.set(1, 1, 1.0);
+  EXPECT_THROW((void)expected_hitting_times(m, 1), ContractViolation);
+}
+
+TEST(Hitting, KacFormulaOnGenericChain) {
+  // Expected return time = 1/π(state) — Kac's formula.
+  TransitionMatrix m(4);
+  m.set(0, 1, 0.6);
+  m.set(0, 2, 0.4);
+  m.set(1, 2, 1.0);
+  m.set(2, 3, 0.5);
+  m.set(2, 0, 0.5);
+  m.set(3, 0, 1.0);
+  const auto pi = solve_stationary_direct(m).distribution;
+  for (std::size_t s = 0; s < 4; ++s) {
+    EXPECT_NEAR(expected_return_time(m, s), 1.0 / pi[s], 1e-9)
+        << "state " << s;
+  }
+}
+
+TEST(Hitting, KacFormulaOnSuffixChain) {
+  // Return time of HN^{≥Δ} equals 1/ᾱ^Δ (via Eq. 37c) — checked without
+  // using the closed form on the hitting side.
+  const std::uint64_t delta = 3;
+  const double alpha = 0.3;
+  const chains::SuffixStateSpace space(delta);
+  const auto matrix = chains::build_suffix_chain_matrix(space, alpha);
+  const std::size_t long_gap =
+      space.index_of({chains::SuffixKind::kLongGap, 0});
+  const double abar_delta = std::pow(1.0 - alpha, 3.0);
+  EXPECT_NEAR(expected_return_time(matrix, long_gap), 1.0 / abar_delta,
+              1e-9);
+}
+
+TEST(Hitting, ConvergenceOpportunityRecurrenceTime) {
+  // On the explicit C_{F‖P}: expected rounds between convergence
+  // opportunities = 1/(ᾱ^{2Δ}α₁).  This is the rigorous version of the
+  // renewal-style ℓ accounting in the Kiffer comparison.
+  const chains::ConcatenatedStateSpace space(1, 3);
+  const chains::DetailedStateModel model{.honest_trials = 3.0, .p = 0.1};
+  const auto matrix = chains::build_concatenated_matrix(space, model);
+  const double rate = chains::convergence_opportunity_probability(
+                          model.prob_n(), model.prob_one(), 1)
+                          .linear();
+  EXPECT_NEAR(expected_return_time(matrix, space.convergence_vertex()),
+              1.0 / rate, 1.0 / rate * 1e-8);
+}
+
+TEST(Hitting, WaitForHonestBlockIsOneOverAlpha) {
+  // The corrected ℓ of the paper's §IV discussion: expected rounds until
+  // a round with ≥1 honest block is 1/α, not 1/(pμn).  On the suffix
+  // chain, hitting the head state HN^{≤Δ−1}H from the long-gap state
+  // takes exactly 1/α rounds in expectation (each round is H w.p. α; the
+  // first H lands in the head state from HN^{≥Δ}... via HN^{≥Δ}H).
+  const std::uint64_t delta = 2;
+  const double alpha = 0.22;
+  const chains::SuffixStateSpace space(delta);
+  const auto matrix = chains::build_suffix_chain_matrix(space, alpha);
+  const std::size_t long_gap =
+      space.index_of({chains::SuffixKind::kLongGap, 0});
+  const std::size_t long_gap_head =
+      space.index_of({chains::SuffixKind::kLongGapTail, 0});
+  const auto h = expected_hitting_times(matrix, long_gap_head);
+  EXPECT_NEAR(h[long_gap], 1.0 / alpha, 1e-9);
+}
+
+}  // namespace
+}  // namespace neatbound::markov

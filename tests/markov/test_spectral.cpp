@@ -1,0 +1,110 @@
+#include "markov/spectral.hpp"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "chains/suffix_chain.hpp"
+#include "markov/mixing.hpp"
+#include "support/contracts.hpp"
+
+namespace neatbound::markov {
+namespace {
+
+TransitionMatrix two_state(double a, double b) {
+  TransitionMatrix m(2);
+  m.set(0, 0, 1.0 - a);
+  m.set(0, 1, a);
+  m.set(1, 0, b);
+  m.set(1, 1, 1.0 - b);
+  return m;
+}
+
+TEST(Spectral, TwoStateExactEigenvalue) {
+  // λ₂ of the two-state chain is 1 − a − b.
+  for (const auto [a, b] : {std::pair{0.3, 0.1}, std::pair{0.05, 0.05},
+                            std::pair{0.5, 0.2}}) {
+    const auto result = estimate_lambda2(two_state(a, b));
+    ASSERT_TRUE(result.converged);
+    EXPECT_NEAR(result.lambda2, std::fabs(1.0 - a - b), 1e-9)
+        << "a=" << a << " b=" << b;
+  }
+}
+
+TEST(Spectral, RankOneChainHasFullGap) {
+  // Every row identical → chain mixes in one step, λ₂ = 0.
+  TransitionMatrix m(3);
+  for (std::size_t i = 0; i < 3; ++i) {
+    m.set(i, 0, 0.2);
+    m.set(i, 1, 0.5);
+    m.set(i, 2, 0.3);
+  }
+  const auto result = estimate_lambda2(m);
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(result.lambda2, 0.0, 1e-9);
+  EXPECT_NEAR(result.spectral_gap, 1.0, 1e-9);
+}
+
+TEST(Spectral, PredictsMixingTimeOfSlowChain) {
+  // Two-state with a = b = 0.01: λ₂ = 0.98, TV(t) = ½·0.98^t; mixing to
+  // 1/8 takes ≈ 69 steps; the spectral prediction (without the ½ factor)
+  // is ln(1/8)/ln(0.98) ≈ 103 — same order, upper-ish.
+  const auto m = two_state(0.01, 0.01);
+  const auto result = estimate_lambda2(m);
+  ASSERT_TRUE(result.converged);
+  const double predicted = mixing_time_from_lambda2(result.lambda2, 1.0 / 8.0);
+  const std::vector<double> pi = {0.5, 0.5};
+  const auto measured = mixing_time(m, pi, 1.0 / 8.0);
+  ASSERT_TRUE(measured.converged);
+  EXPECT_GT(predicted, static_cast<double>(measured.time) * 0.5);
+  EXPECT_LT(predicted, static_cast<double>(measured.time) * 3.0);
+}
+
+TEST(Spectral, SuffixChainComplementIsNilpotent) {
+  // Structural fact uncovered by this library: the suffix state F_t is a
+  // deterministic function of the last 2Δ rounds' coarse states (an H in
+  // the last Δ−1 rounds pins the preceding gap inside the previous Δ
+  // rounds; no H there means HN^{≥Δ} regardless of older history).  So
+  // P^{2Δ} has identical rows — rank one — and every non-unit eigenvalue
+  // of C_F is exactly zero: mixing is purely transient, not geometric.
+  for (const std::uint64_t delta : {2ULL, 4ULL, 8ULL}) {
+    for (const double alpha : {0.1, 0.3}) {
+      const chains::SuffixStateSpace space(delta);
+      const auto matrix = chains::build_suffix_chain_matrix(space, alpha);
+      const auto spectral = estimate_lambda2(matrix);
+      // The estimator bottoms out at its numerical noise floor (repeated
+      // collapse + renormalization), so assert "essentially zero" rather
+      // than exact zero.
+      EXPECT_LT(spectral.lambda2, 0.1)
+          << "delta=" << delta << " alpha=" << alpha;
+    }
+  }
+}
+
+TEST(Spectral, SuffixChainMixesWithinTwoDelta) {
+  // Corollary of nilpotence: TV reaches ~0 (hence any ε, including 1e-9)
+  // within 2Δ steps — mixing is transient, not geometric.
+  for (const std::uint64_t delta : {1ULL, 2ULL, 4ULL, 8ULL, 16ULL}) {
+    for (const double alpha : {0.05, 0.3, 0.7}) {
+      const chains::SuffixStateSpace space(delta);
+      const auto matrix = chains::build_suffix_chain_matrix(space, alpha);
+      const auto pi = chains::stationary_closed_form_vector(space, alpha);
+      const auto loose = mixing_time(matrix, pi, 1.0 / 8.0, 1 << 16);
+      ASSERT_TRUE(loose.converged);
+      EXPECT_LE(loose.time, 2 * delta)
+          << "delta=" << delta << " alpha=" << alpha;
+      const auto strict = mixing_time(matrix, pi, 1e-9, 1 << 16);
+      ASSERT_TRUE(strict.converged);
+      EXPECT_LE(strict.time, 2 * delta)
+          << "delta=" << delta << " alpha=" << alpha;
+    }
+  }
+}
+
+TEST(Spectral, MixingPredictionContracts) {
+  EXPECT_THROW((void)mixing_time_from_lambda2(1.0, 0.1), ContractViolation);
+  EXPECT_THROW((void)mixing_time_from_lambda2(0.5, 0.0), ContractViolation);
+  EXPECT_EQ(mixing_time_from_lambda2(0.0, 0.125), 1.0);
+}
+
+}  // namespace
+}  // namespace neatbound::markov

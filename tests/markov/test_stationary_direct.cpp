@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include "chains/suffix_chain.hpp"
+#include "markov/stationary.hpp"
+#include "support/contracts.hpp"
+
+namespace neatbound::markov {
+namespace {
+
+TransitionMatrix two_state(double a, double b) {
+  TransitionMatrix m(2);
+  m.set(0, 0, 1.0 - a);
+  m.set(0, 1, a);
+  m.set(1, 0, b);
+  m.set(1, 1, 1.0 - b);
+  return m;
+}
+
+TEST(StationaryDirect, TwoStateExact) {
+  const double a = 0.3, b = 0.1;
+  const auto result = solve_stationary_direct(two_state(a, b));
+  ASSERT_TRUE(result.converged);
+  EXPECT_NEAR(result.distribution[0], b / (a + b), 1e-14);
+  EXPECT_NEAR(result.distribution[1], a / (a + b), 1e-14);
+  EXPECT_LT(result.residual, 1e-14);
+}
+
+TEST(StationaryDirect, AgreesWithPowerIteration) {
+  TransitionMatrix m(5);
+  // An arbitrary irreducible chain.
+  m.set(0, 1, 1.0);
+  m.set(1, 2, 0.5);
+  m.set(1, 0, 0.5);
+  m.set(2, 3, 0.9);
+  m.set(2, 2, 0.1);
+  m.set(3, 4, 1.0);
+  m.set(4, 0, 0.7);
+  m.set(4, 2, 0.3);
+  const auto direct = solve_stationary_direct(m);
+  const auto power = solve_stationary_power(m);
+  ASSERT_TRUE(power.converged);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_NEAR(direct.distribution[i], power.distribution[i], 1e-10);
+  }
+}
+
+TEST(StationaryDirect, MatchesSuffixChainClosedForm) {
+  // Third independent derivation of Eq. (37): direct Gaussian elimination.
+  for (const std::uint64_t delta : {1ULL, 3ULL, 8ULL}) {
+    const chains::SuffixStateSpace space(delta);
+    for (const double alpha : {0.1, 0.4}) {
+      const auto matrix = chains::build_suffix_chain_matrix(space, alpha);
+      const auto closed = chains::stationary_closed_form_vector(space, alpha);
+      const auto direct = solve_stationary_direct(matrix);
+      for (std::size_t i = 0; i < space.size(); ++i) {
+        EXPECT_NEAR(direct.distribution[i], closed[i], 1e-12)
+            << "delta=" << delta << " alpha=" << alpha << " state=" << i;
+      }
+    }
+  }
+}
+
+TEST(StationaryDirect, WorksOnPeriodicChain) {
+  // Unlike power iteration (which oscillates), the direct solve handles a
+  // 2-cycle: its stationary distribution is uniform.
+  TransitionMatrix m(2);
+  m.set(0, 1, 1.0);
+  m.set(1, 0, 1.0);
+  const auto result = solve_stationary_direct(m);
+  EXPECT_NEAR(result.distribution[0], 0.5, 1e-14);
+  EXPECT_NEAR(result.distribution[1], 0.5, 1e-14);
+}
+
+TEST(StationaryDirect, RejectsReducibleChain) {
+  TransitionMatrix m(2);
+  m.set(0, 0, 1.0);
+  m.set(1, 1, 1.0);  // two closed classes: no unique stationary law
+  EXPECT_THROW((void)solve_stationary_direct(m), ContractViolation);
+}
+
+}  // namespace
+}  // namespace neatbound::markov

@@ -1,0 +1,108 @@
+#include "markov/structure.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/contracts.hpp"
+
+namespace neatbound::markov {
+namespace {
+
+TransitionMatrix directed_cycle(std::size_t n) {
+  TransitionMatrix m(n);
+  for (std::size_t i = 0; i < n; ++i) m.set(i, (i + 1) % n, 1.0);
+  return m;
+}
+
+TEST(Structure, SingleStateSelfLoop) {
+  TransitionMatrix m(1);
+  m.set(0, 0, 1.0);
+  EXPECT_TRUE(is_irreducible(m));
+  EXPECT_EQ(period(m), 1u);
+  EXPECT_TRUE(is_ergodic(m));
+}
+
+TEST(Structure, TwoDisconnectedComponents) {
+  TransitionMatrix m(4);
+  m.set(0, 1, 1.0);
+  m.set(1, 0, 1.0);
+  m.set(2, 3, 1.0);
+  m.set(3, 2, 1.0);
+  const auto comp = strongly_connected_components(m);
+  EXPECT_EQ(comp[0], comp[1]);
+  EXPECT_EQ(comp[2], comp[3]);
+  EXPECT_NE(comp[0], comp[2]);
+  EXPECT_FALSE(is_irreducible(m));
+}
+
+TEST(Structure, AbsorbingStateBreaksIrreducibility) {
+  TransitionMatrix m(2);
+  m.set(0, 1, 1.0);
+  m.set(1, 1, 1.0);  // absorbing
+  EXPECT_FALSE(is_irreducible(m));
+}
+
+TEST(Structure, CyclesHavePeriodEqualToLength) {
+  for (const std::size_t n : {2, 3, 5, 8}) {
+    const auto m = directed_cycle(n);
+    EXPECT_TRUE(is_irreducible(m));
+    EXPECT_EQ(period(m), n);
+    EXPECT_FALSE(is_ergodic(m));
+  }
+}
+
+TEST(Structure, SelfLoopForcesAperiodicity) {
+  auto m = directed_cycle(4);
+  // Add a self-loop at state 0 (renormalize its row).
+  m.set(0, 1, 0.5);
+  m.set(0, 0, 0.5);
+  EXPECT_TRUE(is_irreducible(m));
+  EXPECT_EQ(period(m), 1u);
+  EXPECT_TRUE(is_ergodic(m));
+}
+
+TEST(Structure, TwoCyclesGcd) {
+  // States 0..3: cycle 0→1→0 (length 2) and 0→2→3→0 (length 3) — but a
+  // shared state makes gcd(2,3) = 1.
+  TransitionMatrix m(4);
+  m.set(0, 1, 0.5);
+  m.set(1, 0, 1.0);
+  m.set(0, 2, 0.5);
+  m.set(2, 3, 1.0);
+  m.set(3, 0, 1.0);
+  EXPECT_TRUE(is_irreducible(m));
+  EXPECT_EQ(period(m), 1u);
+}
+
+TEST(Structure, EvenCyclesKeepPeriodTwo) {
+  // Cycle lengths 2 (0→1→0) and 4 (0→2→3→1→0) → period gcd(2,4) = 2.
+  TransitionMatrix m(4);
+  m.set(0, 1, 0.5);
+  m.set(0, 2, 0.5);
+  m.set(1, 0, 1.0);
+  m.set(2, 3, 1.0);
+  m.set(3, 1, 1.0);
+  EXPECT_TRUE(is_irreducible(m));
+  EXPECT_EQ(period(m), 2u);
+}
+
+TEST(Structure, PeriodRequiresIrreducible) {
+  TransitionMatrix m(2);
+  m.set(0, 0, 1.0);
+  m.set(1, 1, 1.0);
+  EXPECT_THROW((void)period(m), ContractViolation);
+}
+
+TEST(Structure, LargeRandomishChainIsErgodic) {
+  // A chain with full support is trivially ergodic; sanity at size 50.
+  const std::size_t n = 50;
+  TransitionMatrix m(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      m.set(i, j, 1.0 / static_cast<double>(n));
+    }
+  }
+  EXPECT_TRUE(is_ergodic(m));
+}
+
+}  // namespace
+}  // namespace neatbound::markov

@@ -1,0 +1,91 @@
+#include "net/delivery.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/contracts.hpp"
+
+namespace neatbound::net {
+namespace {
+
+TEST(DeliveryQueue, DeliversAtDueRound) {
+  DeliveryQueue queue(4);
+  queue.schedule(5, 0, 10);
+  queue.schedule(3, 1, 11);
+  queue.schedule(7, 2, 12);
+  EXPECT_EQ(queue.pending(), 3u);
+
+  auto due3 = queue.collect_due(3);
+  ASSERT_EQ(due3.size(), 1u);
+  EXPECT_EQ(due3[0].recipient, 1u);
+  EXPECT_EQ(due3[0].block, 11u);
+
+  auto due6 = queue.collect_due(6);
+  ASSERT_EQ(due6.size(), 1u);
+  EXPECT_EQ(due6[0].block, 10u);
+  EXPECT_EQ(queue.pending(), 1u);
+}
+
+TEST(DeliveryQueue, CollectsMultipleInDueOrder) {
+  DeliveryQueue queue(2);
+  queue.schedule(2, 0, 1);
+  queue.schedule(1, 1, 2);
+  queue.schedule(2, 1, 3);
+  const auto due = queue.collect_due(2);
+  ASSERT_EQ(due.size(), 3u);
+  EXPECT_EQ(due[0].due_round, 1u);
+}
+
+TEST(DeliveryQueue, RejectsBadRecipient) {
+  DeliveryQueue queue(2);
+  EXPECT_THROW(queue.schedule(1, 2, 0), ContractViolation);
+  EXPECT_THROW(DeliveryQueue(0), ContractViolation);
+}
+
+TEST(Schedules, ImmediateAlwaysOne) {
+  ImmediateDelivery schedule(8);
+  EXPECT_EQ(schedule.delay(0, 0, 1, 0), 1u);
+  EXPECT_EQ(schedule.max_delay(), 8u);
+}
+
+TEST(Schedules, MaxDelayAlwaysDelta) {
+  MaxDelayDelivery schedule(8);
+  EXPECT_EQ(schedule.delay(0, 0, 1, 0), 8u);
+}
+
+TEST(Schedules, UniformWithinBounds) {
+  UniformRandomDelay schedule(5, Rng(1));
+  bool saw_low = false, saw_high = false;
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t d = schedule.delay(0, 0, 1, 0);
+    ASSERT_GE(d, 1u);
+    ASSERT_LE(d, 5u);
+    saw_low |= (d == 1);
+    saw_high |= (d == 5);
+  }
+  EXPECT_TRUE(saw_low);
+  EXPECT_TRUE(saw_high);
+}
+
+TEST(Schedules, SplitKeepsGroupsApart) {
+  // Miners 0,1 in group 0; miners 2,3 in group 1.
+  SplitDelivery schedule(6, {0, 0, 1, 1});
+  EXPECT_EQ(schedule.delay(0, 0, 1, 0), 1u);  // same group
+  EXPECT_EQ(schedule.delay(0, 2, 3, 0), 1u);
+  EXPECT_EQ(schedule.delay(0, 0, 2, 0), 6u);  // cross group
+  EXPECT_EQ(schedule.delay(0, 3, 1, 0), 6u);
+}
+
+TEST(Schedules, SplitChecksIds) {
+  SplitDelivery schedule(6, {0, 1});
+  EXPECT_THROW((void)schedule.delay(0, 0, 5, 0), ContractViolation);
+}
+
+TEST(Schedules, DeltaValidation) {
+  EXPECT_THROW(ImmediateDelivery(0), ContractViolation);
+  EXPECT_THROW(MaxDelayDelivery(0), ContractViolation);
+  EXPECT_THROW(UniformRandomDelay(0, Rng(1)), ContractViolation);
+  EXPECT_THROW(SplitDelivery(0, {0, 1}), ContractViolation);
+}
+
+}  // namespace
+}  // namespace neatbound::net

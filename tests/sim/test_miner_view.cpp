@@ -1,0 +1,129 @@
+#include "sim/miner_view.hpp"
+
+#include <gtest/gtest.h>
+
+namespace neatbound::sim {
+namespace {
+
+using protocol::Block;
+using protocol::BlockIndex;
+using protocol::BlockStore;
+using protocol::kGenesisIndex;
+
+BlockIndex append(BlockStore& store, BlockIndex parent,
+                  protocol::HashValue hash) {
+  Block b;
+  b.hash = hash;
+  b.parent_hash = store.block(parent).hash;
+  b.round = store.block(parent).round + 1;
+  return store.add(std::move(b));
+}
+
+TEST(MinerView, StartsAtGenesis) {
+  const MinerView view;
+  EXPECT_EQ(view.tip(), kGenesisIndex);
+  EXPECT_TRUE(view.knows(kGenesisIndex));
+}
+
+TEST(MinerView, AdoptsLongerChain) {
+  BlockStore store;
+  MinerView view;
+  const BlockIndex a = append(store, kGenesisIndex, 1);
+  const AdoptionEvent e = view.deliver(a, store);
+  EXPECT_TRUE(e.adopted);
+  EXPECT_EQ(e.reorg_depth, 0u);  // pure extension
+  EXPECT_EQ(view.tip(), a);
+}
+
+TEST(MinerView, FirstReceivedTieBreak) {
+  BlockStore store;
+  MinerView view;
+  const BlockIndex a = append(store, kGenesisIndex, 1);
+  const BlockIndex b = append(store, kGenesisIndex, 2);  // same height
+  view.deliver(a, store);
+  const AdoptionEvent e = view.deliver(b, store);
+  EXPECT_FALSE(e.adopted);
+  EXPECT_EQ(view.tip(), a);  // keeps first received
+  EXPECT_TRUE(view.knows(b));
+}
+
+TEST(MinerView, ReorgDepthMeasuresAbandonedBlocks) {
+  BlockStore store;
+  MinerView view;
+  // Own chain: g → a1 → a2.
+  const BlockIndex a1 = append(store, kGenesisIndex, 1);
+  const BlockIndex a2 = append(store, a1, 2);
+  view.deliver(a1, store);
+  view.deliver(a2, store);
+  // Competing chain g → b1 → b2 → b3 (longer).
+  const BlockIndex b1 = append(store, kGenesisIndex, 11);
+  const BlockIndex b2 = append(store, b1, 12);
+  const BlockIndex b3 = append(store, b2, 13);
+  view.deliver(b1, store);
+  view.deliver(b2, store);
+  const AdoptionEvent e = view.deliver(b3, store);
+  EXPECT_TRUE(e.adopted);
+  EXPECT_EQ(e.reorg_depth, 2u);  // abandoned a1, a2
+  EXPECT_EQ(view.tip(), b3);
+}
+
+TEST(MinerView, OrphanBufferedUntilParentArrives) {
+  BlockStore store;
+  MinerView view;
+  const BlockIndex a = append(store, kGenesisIndex, 1);
+  const BlockIndex b = append(store, a, 2);
+  // Child delivered first: must not be adopted yet.
+  AdoptionEvent e = view.deliver(b, store);
+  EXPECT_FALSE(e.adopted);
+  EXPECT_FALSE(view.knows(b));
+  EXPECT_EQ(view.tip(), kGenesisIndex);
+  // Parent arrives: both activate, tip jumps to the grandchild.
+  e = view.deliver(a, store);
+  EXPECT_TRUE(e.adopted);
+  EXPECT_EQ(view.tip(), b);
+  EXPECT_TRUE(view.knows(a));
+  EXPECT_TRUE(view.knows(b));
+}
+
+TEST(MinerView, DeepOrphanChainActivatesInOneShot) {
+  BlockStore store;
+  MinerView view;
+  std::vector<BlockIndex> chain;
+  BlockIndex parent = kGenesisIndex;
+  for (protocol::HashValue h = 1; h <= 6; ++h) {
+    parent = append(store, parent, h);
+    chain.push_back(parent);
+  }
+  // Deliver in reverse order: everything buffers until the first block.
+  for (std::size_t i = chain.size(); i-- > 1;) {
+    view.deliver(chain[i], store);
+    EXPECT_EQ(view.tip(), kGenesisIndex);
+  }
+  view.deliver(chain[0], store);
+  EXPECT_EQ(view.tip(), chain.back());
+}
+
+TEST(MinerView, DuplicateDeliveryIgnored) {
+  BlockStore store;
+  MinerView view;
+  const BlockIndex a = append(store, kGenesisIndex, 1);
+  EXPECT_TRUE(view.deliver(a, store).adopted);
+  const AdoptionEvent again = view.deliver(a, store);
+  EXPECT_FALSE(again.adopted);
+  EXPECT_EQ(view.tip(), a);
+}
+
+TEST(MinerView, ShorterChainNeverAdopted) {
+  BlockStore store;
+  MinerView view;
+  const BlockIndex a1 = append(store, kGenesisIndex, 1);
+  const BlockIndex a2 = append(store, a1, 2);
+  view.deliver(a1, store);
+  view.deliver(a2, store);
+  const BlockIndex b1 = append(store, kGenesisIndex, 11);
+  EXPECT_FALSE(view.deliver(b1, store).adopted);
+  EXPECT_EQ(view.tip(), a2);
+}
+
+}  // namespace
+}  // namespace neatbound::sim

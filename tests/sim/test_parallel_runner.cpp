@@ -1,0 +1,61 @@
+#include <gtest/gtest.h>
+
+#include "sim/runner.hpp"
+
+namespace neatbound::sim {
+namespace {
+
+ExperimentConfig small_experiment() {
+  ExperimentConfig config;
+  config.engine.miner_count = 16;
+  config.engine.adversary_fraction = 0.25;
+  config.engine.p = 0.004;
+  config.engine.delta = 2;
+  config.engine.rounds = 4000;
+  config.adversary = AdversaryKind::kPrivateWithhold;
+  config.seeds = 8;
+  config.base_seed = 4242;
+  return config;
+}
+
+TEST(ParallelRunner, BitIdenticalToSerial) {
+  const auto config = small_experiment();
+  const ExperimentSummary serial = run_experiment(config, 6);
+  const ExperimentSummary parallel = run_experiment_parallel(config, 6, 4);
+  EXPECT_EQ(serial.convergence_opportunities.count(),
+            parallel.convergence_opportunities.count());
+  EXPECT_DOUBLE_EQ(serial.convergence_opportunities.mean(),
+                   parallel.convergence_opportunities.mean());
+  EXPECT_DOUBLE_EQ(serial.adversary_blocks.mean(),
+                   parallel.adversary_blocks.mean());
+  EXPECT_DOUBLE_EQ(serial.honest_blocks.variance(),
+                   parallel.honest_blocks.variance());
+  EXPECT_DOUBLE_EQ(serial.violation_depth.max(),
+                   parallel.violation_depth.max());
+  EXPECT_DOUBLE_EQ(serial.chain_quality.mean(), parallel.chain_quality.mean());
+  EXPECT_DOUBLE_EQ(serial.violation_exceeds_t.mean(),
+                   parallel.violation_exceeds_t.mean());
+}
+
+TEST(ParallelRunner, SingleThreadFallsBackToSerial) {
+  const auto config = small_experiment();
+  const ExperimentSummary a = run_experiment(config, 6);
+  const ExperimentSummary b = run_experiment_parallel(config, 6, 1);
+  EXPECT_DOUBLE_EQ(a.honest_blocks.mean(), b.honest_blocks.mean());
+}
+
+TEST(ParallelRunner, MoreThreadsThanSeeds) {
+  ExperimentConfig config = small_experiment();
+  config.seeds = 2;
+  const ExperimentSummary summary = run_experiment_parallel(config, 6, 16);
+  EXPECT_EQ(summary.honest_blocks.count(), 2u);
+}
+
+TEST(ParallelRunner, DefaultThreadCountWorks) {
+  const auto config = small_experiment();
+  const ExperimentSummary summary = run_experiment_parallel(config, 6);
+  EXPECT_EQ(summary.honest_blocks.count(), config.seeds);
+}
+
+}  // namespace
+}  // namespace neatbound::sim

@@ -1,0 +1,66 @@
+#include "stats/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/contracts.hpp"
+
+namespace neatbound::stats {
+namespace {
+
+TEST(Histogram, BinsValuesCorrectly) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.5);   // bin 0
+  h.add(3.0);   // bin 1
+  h.add(9.99);  // bin 4
+  EXPECT_EQ(h.bin(0), 1u);
+  EXPECT_EQ(h.bin(1), 1u);
+  EXPECT_EQ(h.bin(4), 1u);
+  EXPECT_EQ(h.total_count(), 3u);
+}
+
+TEST(Histogram, UnderOverflow) {
+  Histogram h(0.0, 1.0, 2);
+  h.add(-0.1);
+  h.add(1.0);  // hi edge counts as overflow (half-open bins)
+  h.add(2.0);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.total_count(), 3u);
+}
+
+TEST(Histogram, BinEdges) {
+  Histogram h(2.0, 12.0, 5);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(0), 4.0);
+  EXPECT_DOUBLE_EQ(h.bin_lo(4), 10.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(4), 12.0);
+}
+
+TEST(Histogram, Fractions) {
+  Histogram h(0.0, 4.0, 4);
+  h.add(0.5);
+  h.add(1.5);
+  h.add(1.6);
+  h.add(3.9);
+  EXPECT_DOUBLE_EQ(h.bin_fraction(1), 0.5);
+  EXPECT_DOUBLE_EQ(h.bin_fraction(0), 0.25);
+}
+
+TEST(Histogram, RenderContainsBars) {
+  Histogram h(0.0, 1.0, 2);
+  for (int i = 0; i < 10; ++i) h.add(0.25);
+  h.add(0.75);
+  const std::string out = h.render(10);
+  EXPECT_NE(out.find("##########"), std::string::npos);
+}
+
+TEST(Histogram, ContractChecks) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), neatbound::ContractViolation);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), neatbound::ContractViolation);
+  Histogram h(0.0, 1.0, 2);
+  EXPECT_THROW((void)h.bin(2), std::out_of_range);
+  EXPECT_THROW((void)h.bin_lo(5), neatbound::ContractViolation);
+}
+
+}  // namespace
+}  // namespace neatbound::stats

@@ -1,0 +1,136 @@
+#include "stats/large_deviations.hpp"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "stats/distributions.hpp"
+#include "support/contracts.hpp"
+
+namespace neatbound::stats {
+namespace {
+
+TEST(RelativeEntropy, ZeroWhenEqual) {
+  EXPECT_EQ(bernoulli_relative_entropy(0.3, 0.3), 0.0);
+  EXPECT_EQ(bernoulli_relative_entropy(0.0, 0.0), 0.0);
+  EXPECT_EQ(bernoulli_relative_entropy(1.0, 1.0), 0.0);
+}
+
+TEST(RelativeEntropy, PositiveWhenDifferent) {
+  EXPECT_GT(bernoulli_relative_entropy(0.4, 0.3), 0.0);
+  EXPECT_GT(bernoulli_relative_entropy(0.2, 0.3), 0.0);
+}
+
+TEST(RelativeEntropy, HandValue) {
+  // D(0.5 ‖ 0.25) = 0.5·ln2 + 0.5·ln(2/3).
+  const double expected = 0.5 * std::log(2.0) + 0.5 * std::log(2.0 / 3.0);
+  EXPECT_NEAR(bernoulli_relative_entropy(0.5, 0.25), expected, 1e-12);
+}
+
+TEST(RelativeEntropy, InfiniteOffSupport) {
+  EXPECT_TRUE(std::isinf(bernoulli_relative_entropy(0.5, 0.0)));
+  EXPECT_TRUE(std::isinf(bernoulli_relative_entropy(0.5, 1.0)));
+}
+
+TEST(RelativeEntropy, Eq48FormMatches) {
+  // Eq. (48) written out directly.
+  const double p = 0.01, d3 = 0.5;
+  const double direct = (1 + d3) * p * std::log(1 + d3) +
+                        (1 - (1 + d3) * p) *
+                            std::log((1 - (1 + d3) * p) / (1 - p));
+  EXPECT_NEAR(relative_entropy_scaled(p, d3), direct, 1e-12);
+}
+
+TEST(RelativeEntropy, ScaledRejectsOverflowingA) {
+  EXPECT_THROW((void)relative_entropy_scaled(0.6, 1.0),
+               neatbound::ContractViolation);
+}
+
+TEST(TailBounds, UpperBoundDominatesExactTail) {
+  // Arratia–Gordon: P[X ≥ (1+δ)Np] ≤ exp(−N·D).  Check against the exact
+  // binomial survival function.
+  const double n = 200, p = 0.05, d3 = 0.6;
+  const Binomial binom(n, p);
+  const auto threshold =
+      static_cast<std::uint64_t>(std::ceil((1 + d3) * n * p));
+  const double exact = binom.sf(threshold).linear();
+  const double bound = binomial_upper_tail_bound(n, p, d3).linear();
+  EXPECT_LE(exact, bound * (1.0 + 1e-9));
+}
+
+TEST(TailBounds, LowerBoundDominatesExactTail) {
+  const double n = 200, p = 0.2, d = 0.5;
+  const Binomial binom(n, p);
+  const auto threshold =
+      static_cast<std::uint64_t>(std::floor((1 - d) * n * p));
+  const double exact = binom.cdf(threshold).linear();
+  const double bound = binomial_lower_tail_bound(n, p, d).linear();
+  EXPECT_LE(exact, bound * (1.0 + 1e-9));
+}
+
+TEST(TailBounds, DecayExponentiallyInTrials) {
+  // Doubling N must square the bound (paper: exponential decay in T).
+  const double p = 0.01, d3 = 0.5;
+  const LogProb b1 = binomial_upper_tail_bound(1000, p, d3);
+  const LogProb b2 = binomial_upper_tail_bound(2000, p, d3);
+  EXPECT_NEAR(b2.log(), 2.0 * b1.log(), 1e-9);
+}
+
+TEST(TailBounds, TightenWithDeviation) {
+  const double n = 1000, p = 0.01;
+  EXPECT_LT(binomial_upper_tail_bound(n, p, 1.0).log(),
+            binomial_upper_tail_bound(n, p, 0.5).log());
+  EXPECT_LT(binomial_lower_tail_bound(n, p, 0.9).log(),
+            binomial_lower_tail_bound(n, p, 0.5).log());
+}
+
+TEST(Chernoff, WeakerThanArratiaGordonUpper) {
+  // The multiplicative Chernoff bound must never be tighter than the
+  // relative-entropy bound (D ≥ δ²p/(2+δ) pointwise).
+  const double n = 500, p = 0.02;
+  for (const double d3 : {0.1, 0.5, 1.0, 2.0}) {
+    EXPECT_GE(chernoff_upper_bound(n * p, d3).log(),
+              binomial_upper_tail_bound(n, p, d3).log() - 1e-9);
+  }
+}
+
+TEST(Chernoff, LowerBoundSane) {
+  const double mean = 50.0;
+  const LogProb b = chernoff_lower_bound(mean, 0.5);
+  EXPECT_NEAR(b.log(), -mean * 0.25 / 2.0, 1e-12);
+}
+
+TEST(Chernoff, ContractChecks) {
+  EXPECT_THROW((void)chernoff_lower_bound(10.0, 1.5),
+               neatbound::ContractViolation);
+  EXPECT_THROW((void)chernoff_upper_bound(-1.0, 0.5),
+               neatbound::ContractViolation);
+}
+
+// Sweep: bound validity P[X ≥ (1+δ)Np] ≤ bound over a parameter grid.
+struct TailCase {
+  double n;
+  double p;
+  double delta;
+};
+
+class TailSweep : public ::testing::TestWithParam<TailCase> {};
+
+TEST_P(TailSweep, UpperBoundValid) {
+  const auto [n, p, delta] = GetParam();
+  const Binomial binom(n, p);
+  const auto threshold =
+      static_cast<std::uint64_t>(std::ceil((1 + delta) * n * p));
+  if (static_cast<double>(threshold) > n) GTEST_SKIP();
+  const double exact = binom.sf(threshold).linear();
+  const double bound = binomial_upper_tail_bound(n, p, delta).linear();
+  EXPECT_LE(exact, bound * (1.0 + 1e-9));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, TailSweep,
+    ::testing::Values(TailCase{50, 0.1, 0.5}, TailCase{100, 0.05, 1.0},
+                      TailCase{400, 0.02, 0.25}, TailCase{1000, 0.004, 2.0},
+                      TailCase{30, 0.3, 0.8}, TailCase{2000, 0.001, 3.0}));
+
+}  // namespace
+}  // namespace neatbound::stats

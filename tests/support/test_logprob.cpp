@@ -1,0 +1,204 @@
+#include "support/logprob.hpp"
+
+#include <cmath>
+#include <gtest/gtest.h>
+#include <sstream>
+
+#include "support/contracts.hpp"
+
+namespace neatbound {
+namespace {
+
+TEST(LogProb, DefaultConstructsZero) {
+  const LogProb p;
+  EXPECT_TRUE(p.is_zero());
+  EXPECT_EQ(p.linear(), 0.0);
+  EXPECT_TRUE(std::isinf(p.log()));
+}
+
+TEST(LogProb, FromLinearRoundTrips) {
+  for (const double v : {1e-300, 1e-10, 0.25, 0.5, 1.0, 2.0, 1e10}) {
+    EXPECT_NEAR(LogProb::from_linear(v).linear(), v, v * 1e-12);
+  }
+}
+
+TEST(LogProb, FromLinearRejectsNegative) {
+  EXPECT_THROW((void)LogProb::from_linear(-0.1), ContractViolation);
+}
+
+TEST(LogProb, FromLinearRejectsNan) {
+  EXPECT_THROW((void)LogProb::from_linear(std::nan("")), ContractViolation);
+}
+
+TEST(LogProb, FromLogRejectsNan) {
+  EXPECT_THROW((void)LogProb::from_log(std::nan("")), ContractViolation);
+}
+
+TEST(LogProb, ZeroAndOneConstants) {
+  EXPECT_TRUE(LogProb::zero().is_zero());
+  EXPECT_EQ(LogProb::one().linear(), 1.0);
+  EXPECT_EQ(LogProb::one().log(), 0.0);
+}
+
+TEST(LogProb, MultiplicationMatchesLinear) {
+  const LogProb a = LogProb::from_linear(0.3);
+  const LogProb b = LogProb::from_linear(0.4);
+  EXPECT_NEAR((a * b).linear(), 0.12, 1e-15);
+}
+
+TEST(LogProb, MultiplicationByZeroIsZero) {
+  EXPECT_TRUE((LogProb::zero() * LogProb::from_linear(0.5)).is_zero());
+  EXPECT_TRUE((LogProb::from_linear(0.5) * LogProb::zero()).is_zero());
+}
+
+TEST(LogProb, MultiplicationFarBelowUnderflow) {
+  // (10^-200)^4 = 10^-800 — far below double range, exact in log space.
+  LogProb p = LogProb::from_linear(1e-200);
+  const LogProb result = p * p * p * p;
+  EXPECT_NEAR(result.log(), 4.0 * std::log(1e-200), 1e-6);
+  EXPECT_EQ(result.linear(), 0.0);  // linear rendering underflows, as expected
+}
+
+TEST(LogProb, DivisionMatchesLinear) {
+  const LogProb a = LogProb::from_linear(0.3);
+  const LogProb b = LogProb::from_linear(0.6);
+  EXPECT_NEAR((a / b).linear(), 0.5, 1e-15);
+}
+
+TEST(LogProb, DivisionByZeroThrows) {
+  EXPECT_THROW((void)(LogProb::one() / LogProb::zero()), ContractViolation);
+}
+
+TEST(LogProb, ZeroDividedIsZero) {
+  EXPECT_TRUE((LogProb::zero() / LogProb::from_linear(0.5)).is_zero());
+}
+
+TEST(LogProb, AdditionMatchesLinear) {
+  const LogProb a = LogProb::from_linear(0.125);
+  const LogProb b = LogProb::from_linear(0.25);
+  EXPECT_NEAR((a + b).linear(), 0.375, 1e-15);
+}
+
+TEST(LogProb, AdditionWithZeroIsIdentity) {
+  const LogProb a = LogProb::from_linear(0.7);
+  EXPECT_EQ((a + LogProb::zero()).log(), a.log());
+  EXPECT_EQ((LogProb::zero() + a).log(), a.log());
+}
+
+TEST(LogProb, AdditionAcrossScales) {
+  // Adding a vastly smaller value must not lose the larger one.
+  const LogProb big = LogProb::from_linear(1.0);
+  const LogProb small = LogProb::from_log(-1000.0);
+  EXPECT_NEAR((big + small).log(), 0.0, 1e-15);
+}
+
+TEST(LogProb, SubtractionMatchesLinear) {
+  const LogProb a = LogProb::from_linear(0.75);
+  const LogProb b = LogProb::from_linear(0.25);
+  EXPECT_NEAR((a - b).linear(), 0.5, 1e-14);
+}
+
+TEST(LogProb, SubtractionToZero) {
+  const LogProb a = LogProb::from_linear(0.4);
+  EXPECT_TRUE((a - a).is_zero());
+}
+
+TEST(LogProb, SubtractionUnderflowThrows) {
+  EXPECT_THROW(
+      (void)(LogProb::from_linear(0.1) - LogProb::from_linear(0.2)),
+      ContractViolation);
+}
+
+TEST(LogProb, PowHugeExponent) {
+  // ᾱ^{2Δ} with ᾱ = 1 − 10⁻¹⁴ and Δ = 10¹³: ln result ≈ −0.2.
+  const LogProb abar = LogProb::from_log(std::log1p(-1e-14));
+  const LogProb result = abar.pow(2e13);
+  EXPECT_NEAR(result.log(), 2e13 * std::log1p(-1e-14), 1e-12);
+  EXPECT_NEAR(result.linear(), std::exp(-0.2), 1e-3);
+}
+
+TEST(LogProb, PowZeroBaseRequiresPositiveExponent) {
+  EXPECT_THROW((void)LogProb::zero().pow(0.0), ContractViolation);
+  EXPECT_TRUE(LogProb::zero().pow(2.0).is_zero());
+}
+
+TEST(LogProb, ComplementBasics) {
+  EXPECT_NEAR(LogProb::from_linear(0.25).complement().linear(), 0.75, 1e-15);
+  EXPECT_TRUE(LogProb::one().complement().is_zero());
+  EXPECT_EQ(LogProb::zero().complement().log(), 0.0);
+}
+
+TEST(LogProb, ComplementNearOneIsPrecise) {
+  // 1 − (1 − 10⁻¹⁸): naive linear math returns 0; log space keeps 10⁻¹⁸.
+  const LogProb nearly_one = LogProb::from_log(std::log1p(-1e-18));
+  EXPECT_NEAR(nearly_one.complement().log(), std::log(1e-18), 1e-9);
+}
+
+TEST(LogProb, ComplementAboveOneThrows) {
+  EXPECT_THROW((void)LogProb::from_linear(1.5).complement(),
+               ContractViolation);
+}
+
+TEST(LogProb, ComparisonsFollowMagnitude) {
+  const LogProb small = LogProb::from_linear(0.1);
+  const LogProb large = LogProb::from_linear(0.9);
+  EXPECT_LT(small, large);
+  EXPECT_GT(large, small);
+  EXPECT_EQ(small, LogProb::from_linear(0.1));
+  EXPECT_LE(LogProb::zero(), small);
+}
+
+TEST(LogProb, StreamOutput) {
+  std::ostringstream os;
+  os << LogProb::from_linear(0.5);
+  EXPECT_EQ(os.str(), "0.5");
+  std::ostringstream os2;
+  os2 << LogProb::from_log(-1e6);  // unrepresentable linearly
+  EXPECT_EQ(os2.str(), "exp(-1e+06)");
+}
+
+TEST(PowOneMinus, MatchesNaiveForModerateArgs) {
+  EXPECT_NEAR(pow_one_minus(0.25, 10.0).linear(), std::pow(0.75, 10.0),
+              1e-12);
+}
+
+TEST(PowOneMinus, StableForTinyP) {
+  // (1−10⁻²⁰)^{10²⁰} → 1/e; naive pow(1-p, k) would see pow(1.0, k) = 1.
+  EXPECT_NEAR(pow_one_minus(1e-20, 1e20).linear(), std::exp(-1.0), 1e-6);
+}
+
+TEST(PowOneMinus, ContractChecks) {
+  EXPECT_THROW((void)pow_one_minus(1.0, 2.0), ContractViolation);
+  EXPECT_THROW((void)pow_one_minus(-0.1, 2.0), ContractViolation);
+  EXPECT_THROW((void)pow_one_minus(0.1, -1.0), ContractViolation);
+}
+
+// Property sweep: (a·b)/b == a and (a+b)−b == a across magnitudes.
+class LogProbAlgebra : public ::testing::TestWithParam<double> {};
+
+TEST_P(LogProbAlgebra, MulDivRoundTrip) {
+  const double x = GetParam();
+  const LogProb a = LogProb::from_linear(x);
+  const LogProb b = LogProb::from_linear(0.37);
+  EXPECT_NEAR(((a * b) / b).log(), a.log(), 1e-12);
+}
+
+TEST_P(LogProbAlgebra, AddSubRoundTrip) {
+  const double x = GetParam();
+  const LogProb a = LogProb::from_linear(x);
+  const LogProb b = LogProb::from_linear(x * 0.5);
+  EXPECT_NEAR(((a + b) - b).log(), a.log(), 1e-9);
+}
+
+TEST_P(LogProbAlgebra, PowSplitsMultiplicatively) {
+  const double x = GetParam();
+  const LogProb a = LogProb::from_linear(x);
+  EXPECT_NEAR(a.pow(5.0).log(), (a * a * a * a * a).log(), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Magnitudes, LogProbAlgebra,
+                         ::testing::Values(1e-250, 1e-50, 1e-9, 0.1, 0.5,
+                                           0.999, 1.0, 3.5, 1e20));
+
+}  // namespace
+}  // namespace neatbound

@@ -1,0 +1,116 @@
+#include "support/math.hpp"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "support/contracts.hpp"
+
+namespace neatbound {
+namespace {
+
+TEST(LogAddExp, MatchesNaive) {
+  EXPECT_NEAR(log_add_exp(std::log(0.3), std::log(0.4)), std::log(0.7),
+              1e-14);
+}
+
+TEST(LogAddExp, HandlesNegInfinity) {
+  const double neg_inf = -std::numeric_limits<double>::infinity();
+  EXPECT_EQ(log_add_exp(neg_inf, std::log(0.5)), std::log(0.5));
+  EXPECT_EQ(log_add_exp(std::log(0.5), neg_inf), std::log(0.5));
+  EXPECT_EQ(log_add_exp(neg_inf, neg_inf), neg_inf);
+}
+
+TEST(LogAddExp, NoOverflowForLargeArgs) {
+  EXPECT_NEAR(log_add_exp(1000.0, 1000.0), 1000.0 + std::log(2.0), 1e-12);
+}
+
+TEST(LogSubExp, MatchesNaive) {
+  EXPECT_NEAR(log_sub_exp(std::log(0.7), std::log(0.2)), std::log(0.5),
+              1e-14);
+}
+
+TEST(LogSubExp, EqualArgsGiveNegInfinity) {
+  EXPECT_TRUE(std::isinf(log_sub_exp(std::log(0.3), std::log(0.3))));
+}
+
+TEST(LogSubExp, RejectsNegativeResult) {
+  EXPECT_THROW((void)log_sub_exp(std::log(0.2), std::log(0.7)),
+               ContractViolation);
+}
+
+TEST(LogBinomialCoefficient, SmallExactValues) {
+  EXPECT_NEAR(log_binomial_coefficient(5, 2), std::log(10.0), 1e-12);
+  EXPECT_NEAR(log_binomial_coefficient(10, 0), 0.0, 1e-12);
+  EXPECT_NEAR(log_binomial_coefficient(10, 10), 0.0, 1e-12);
+  EXPECT_NEAR(log_binomial_coefficient(52, 5), std::log(2598960.0), 1e-9);
+}
+
+TEST(LogBinomialCoefficient, Symmetry) {
+  EXPECT_NEAR(log_binomial_coefficient(100, 30),
+              log_binomial_coefficient(100, 70), 1e-9);
+}
+
+TEST(LogBinomialCoefficient, RejectsOutOfRange) {
+  EXPECT_THROW((void)log_binomial_coefficient(5, 6), ContractViolation);
+  EXPECT_THROW((void)log_binomial_coefficient(5, -1), ContractViolation);
+}
+
+TEST(Log1mExp, MatchesNaiveBothBranches) {
+  // x > −ln2 branch:
+  EXPECT_NEAR(log1m_exp(-0.1), std::log(1.0 - std::exp(-0.1)), 1e-14);
+  // x < −ln2 branch:
+  EXPECT_NEAR(log1m_exp(-3.0), std::log(1.0 - std::exp(-3.0)), 1e-14);
+}
+
+TEST(Log1mExp, RejectsNonNegative) {
+  EXPECT_THROW((void)log1m_exp(0.0), ContractViolation);
+}
+
+TEST(RelativeError, Basics) {
+  EXPECT_EQ(relative_error(1.0, 1.0), 0.0);
+  EXPECT_NEAR(relative_error(1.0, 1.1), 0.1 / 1.1, 1e-12);
+  EXPECT_EQ(relative_error(0.0, 0.0), 0.0);
+}
+
+TEST(ApproxEqual, Basics) {
+  EXPECT_TRUE(approx_equal(1.0, 1.0 + 1e-13, 1e-12));
+  EXPECT_FALSE(approx_equal(1.0, 1.1, 1e-3));
+}
+
+TEST(Bisection, FindsFrontier) {
+  // pred true iff x ≤ π.
+  const auto r = bisect_last_true([](double x) { return x <= 3.14159; },
+                                  0.0, 10.0);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.value, 3.14159, 1e-9);
+}
+
+TEST(Bisection, AllFalseReportsNotConverged) {
+  const auto r = bisect_last_true([](double) { return false; }, 0.0, 1.0);
+  EXPECT_FALSE(r.converged);
+  EXPECT_EQ(r.value, 0.0);
+}
+
+TEST(Bisection, AllTrueReportsNotConverged) {
+  const auto r = bisect_last_true([](double) { return true; }, 0.0, 1.0);
+  EXPECT_FALSE(r.converged);
+  EXPECT_EQ(r.value, 1.0);
+}
+
+TEST(Bisection, LogGridSpansDecades) {
+  // Frontier at 10⁻⁴⁰: linear bisection over [1e-80, 1] would need ~270
+  // iterations to resolve; the log grid nails it.
+  const auto r = bisect_last_true_log(
+      [](double x) { return x <= 1e-40; }, 1e-80, 1.0);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(std::log10(r.value), -40.0, 1e-6);
+}
+
+TEST(Bisection, LogGridRejectsBadBracket) {
+  EXPECT_THROW(
+      (void)bisect_last_true_log([](double) { return true; }, 0.0, 1.0),
+      ContractViolation);
+}
+
+}  // namespace
+}  // namespace neatbound

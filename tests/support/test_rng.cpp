@@ -1,0 +1,217 @@
+#include "support/rng.hpp"
+
+#include <cmath>
+#include <gtest/gtest.h>
+#include <set>
+#include <vector>
+
+#include "support/contracts.hpp"
+
+namespace neatbound {
+namespace {
+
+TEST(Splitmix, DeterministicSequence) {
+  std::uint64_t s1 = 42, s2 = 42;
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(splitmix64_next(s1), splitmix64_next(s2));
+  }
+}
+
+TEST(Splitmix, KnownVector) {
+  // Reference value from the splitmix64 reference implementation with
+  // seed 0: first output is 0xe220a8397b1dcdaf.
+  std::uint64_t s = 0;
+  EXPECT_EQ(splitmix64_next(s), 0xe220a8397b1dcdafULL);
+}
+
+TEST(Mix64, BijectiveOnSamples) {
+  std::set<std::uint64_t> outputs;
+  for (std::uint64_t i = 0; i < 10000; ++i) outputs.insert(mix64(i));
+  EXPECT_EQ(outputs.size(), 10000u);
+}
+
+TEST(Xoshiro, SameSeedSameStream) {
+  Xoshiro256 a(7), b(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro, DifferentSeedsDiffer) {
+  Xoshiro256 a(7), b(8);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += (a.next() == b.next());
+  EXPECT_LE(equal, 1);
+}
+
+TEST(Xoshiro, SplitDecorrelates) {
+  Xoshiro256 a(7);
+  Xoshiro256 child = a.split();
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += (a.next() == child.next());
+  EXPECT_LE(equal, 1);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(1);
+  double sum = 0.0;
+  for (int i = 0; i < 100000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  // Mean of Uniform[0,1) is 0.5, stderr ≈ 0.0009; allow 5σ.
+  EXPECT_NEAR(sum / 100000.0, 0.5, 0.005);
+}
+
+TEST(Rng, UniformBelowRespectsBound) {
+  Rng rng(2);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL}) {
+    for (int i = 0; i < 1000; ++i) {
+      ASSERT_LT(rng.uniform_below(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, UniformBelowCoversSupport) {
+  Rng rng(3);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, UniformBelowZeroThrows) {
+  Rng rng(4);
+  EXPECT_THROW((void)rng.uniform_below(0), ContractViolation);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(5);
+  int hits = 0;
+  const int trials = 200000;
+  for (int i = 0; i < trials; ++i) hits += rng.bernoulli(0.3);
+  // stderr = sqrt(0.3·0.7/200000) ≈ 0.001; allow 5σ.
+  EXPECT_NEAR(static_cast<double>(hits) / trials, 0.3, 0.006);
+}
+
+TEST(Rng, BernoulliDegenerate) {
+  Rng rng(6);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, BinomialDegenerateCases) {
+  Rng rng(7);
+  EXPECT_EQ(rng.binomial(0, 0.5), 0u);
+  EXPECT_EQ(rng.binomial(100, 0.0), 0u);
+  EXPECT_EQ(rng.binomial(100, 1.0), 100u);
+}
+
+TEST(Rng, BinomialWithinRange) {
+  Rng rng(8);
+  for (int i = 0; i < 10000; ++i) {
+    ASSERT_LE(rng.binomial(50, 0.3), 50u);
+  }
+}
+
+TEST(Rng, BinomialMeanSmallNp) {
+  // The regime the simulator lives in: tiny per-round success counts.
+  Rng rng(9);
+  const std::uint64_t n = 1000;
+  const double p = 0.0005;  // mean 0.5
+  double sum = 0.0;
+  const int reps = 200000;
+  for (int i = 0; i < reps; ++i) {
+    sum += static_cast<double>(rng.binomial(n, p));
+  }
+  // var ≈ 0.5, stderr ≈ 0.0016; allow 5σ.
+  EXPECT_NEAR(sum / reps, 0.5, 0.008);
+}
+
+TEST(Rng, BinomialMeanAndVarianceModerate) {
+  Rng rng(10);
+  const std::uint64_t n = 40;
+  const double p = 0.25;
+  double sum = 0.0, sumsq = 0.0;
+  const int reps = 100000;
+  for (int i = 0; i < reps; ++i) {
+    const double x = static_cast<double>(rng.binomial(n, p));
+    sum += x;
+    sumsq += x * x;
+  }
+  const double mean = sum / reps;
+  const double var = sumsq / reps - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.1);       // true mean 10
+  EXPECT_NEAR(var, 7.5, 0.3);         // true var 7.5
+}
+
+TEST(Rng, BinomialLargeMeanChunksCorrectly) {
+  // np = 5000 exercises the chunked path; mean/variance must survive.
+  Rng rng(11);
+  const std::uint64_t n = 100000;
+  const double p = 0.05;
+  double sum = 0.0;
+  const int reps = 2000;
+  for (int i = 0; i < reps; ++i) {
+    sum += static_cast<double>(rng.binomial(n, p));
+  }
+  // mean 5000, sd ≈ 68.9, stderr ≈ 1.54; allow 5σ.
+  EXPECT_NEAR(sum / reps, 5000.0, 8.0);
+}
+
+TEST(Rng, BinomialSymmetryPath) {
+  // p > 1/2 goes through the reflection branch.
+  Rng rng(12);
+  double sum = 0.0;
+  const int reps = 100000;
+  for (int i = 0; i < reps; ++i) {
+    sum += static_cast<double>(rng.binomial(20, 0.9));
+  }
+  EXPECT_NEAR(sum / reps, 18.0, 0.05);
+}
+
+TEST(Rng, GeometricMean) {
+  Rng rng(13);
+  const double p = 0.2;
+  double sum = 0.0;
+  const int reps = 200000;
+  for (int i = 0; i < reps; ++i) {
+    sum += static_cast<double>(rng.geometric_failures(p));
+  }
+  // mean (1-p)/p = 4, sd ≈ 4.47, stderr ≈ 0.01; allow 5σ.
+  EXPECT_NEAR(sum / reps, 4.0, 0.06);
+}
+
+TEST(Rng, GeometricPOneIsZero) {
+  Rng rng(14);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.geometric_failures(1.0), 0u);
+}
+
+TEST(Rng, SplitStreamsIndependentish) {
+  Rng a(15);
+  Rng b = a.split();
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += (a.bits() == b.bits());
+  EXPECT_LE(equal, 1);
+}
+
+// Chi-square-style uniformity check over 16 buckets.
+TEST(Rng, UniformBucketsBalanced) {
+  Rng rng(16);
+  std::vector<int> buckets(16, 0);
+  const int reps = 160000;
+  for (int i = 0; i < reps; ++i) {
+    ++buckets[static_cast<std::size_t>(rng.uniform() * 16.0)];
+  }
+  double chi2 = 0.0;
+  const double expected = reps / 16.0;
+  for (const int b : buckets) {
+    chi2 += (b - expected) * (b - expected) / expected;
+  }
+  // 15 dof: P[chi2 > 37.7] ≈ 0.001.
+  EXPECT_LT(chi2, 37.7);
+}
+
+}  // namespace
+}  // namespace neatbound

@@ -1,0 +1,115 @@
+#include <cstdio>
+#include <fstream>
+#include <gtest/gtest.h>
+#include <sstream>
+
+#include "support/cli.hpp"
+#include "support/contracts.hpp"
+#include "support/csv.hpp"
+#include "support/table.hpp"
+
+namespace neatbound {
+namespace {
+
+TEST(TablePrinter, AlignsColumns) {
+  TablePrinter t({"a", "long-header"});
+  t.add_row({"1", "2"});
+  t.add_row({"100", "20000"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("long-header"), std::string::npos);
+  EXPECT_NE(out.find("| 100 |"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(TablePrinter, RejectsMismatchedRow) {
+  TablePrinter t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), ContractViolation);
+}
+
+TEST(TablePrinter, RejectsEmptyHeader) {
+  EXPECT_THROW(TablePrinter({}), ContractViolation);
+}
+
+TEST(Format, General) {
+  EXPECT_EQ(format_general(0.5), "0.5");
+  EXPECT_EQ(format_general(123456789.0, 3), "1.23e+08");
+}
+
+TEST(Format, Fixed) { EXPECT_EQ(format_fixed(1.23456, 2), "1.23"); }
+
+TEST(Format, Sci) { EXPECT_EQ(format_sci(12345.0, 2), "1.23e+04"); }
+
+TEST(CsvWriter, WritesAndQuotes) {
+  const std::string path = ::testing::TempDir() + "neatbound_csv_test.csv";
+  {
+    CsvWriter csv(path, {"x", "note"});
+    csv.add_row({"1", "plain"});
+    csv.add_row({"2", "has,comma"});
+    csv.add_row({"3", "has\"quote"});
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "x,note");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,plain");
+  std::getline(in, line);
+  EXPECT_EQ(line, "2,\"has,comma\"");
+  std::getline(in, line);
+  EXPECT_EQ(line, "3,\"has\"\"quote\"");
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriter, RejectsWrongWidth) {
+  const std::string path = ::testing::TempDir() + "neatbound_csv_test2.csv";
+  CsvWriter csv(path, {"a", "b"});
+  EXPECT_THROW(csv.add_row({"1"}), ContractViolation);
+  csv.close();
+  std::remove(path.c_str());
+}
+
+TEST(CliArgs, ParsesEqualsAndSpaceForms) {
+  const char* argv[] = {"prog", "--rounds=100", "--nu", "0.3", "--verbose"};
+  CliArgs args(5, argv);
+  EXPECT_EQ(args.get_uint("rounds", 0), 100u);
+  EXPECT_DOUBLE_EQ(args.get_double("nu", 0.0), 0.3);
+  EXPECT_TRUE(args.get_bool("verbose", false));
+  args.reject_unconsumed();
+}
+
+TEST(CliArgs, DefaultsApply) {
+  const char* argv[] = {"prog"};
+  CliArgs args(1, argv);
+  EXPECT_EQ(args.get_int("missing", -7), -7);
+  EXPECT_EQ(args.get_string("name", "dflt"), "dflt");
+  EXPECT_FALSE(args.has("missing"));
+}
+
+TEST(CliArgs, RejectsUnknownFlag) {
+  const char* argv[] = {"prog", "--typo=1"};
+  CliArgs args(2, argv);
+  (void)args.get_int("rounds", 0);
+  EXPECT_THROW(args.reject_unconsumed(), std::runtime_error);
+}
+
+TEST(CliArgs, RejectsMalformedNumber) {
+  const char* argv[] = {"prog", "--x=abc"};
+  CliArgs args(2, argv);
+  EXPECT_THROW((void)args.get_double("x", 0.0), std::runtime_error);
+}
+
+TEST(CliArgs, RejectsNegativeUint) {
+  const char* argv[] = {"prog", "--x=-5"};
+  CliArgs args(2, argv);
+  EXPECT_THROW((void)args.get_uint("x", 0), std::runtime_error);
+}
+
+TEST(CliArgs, RejectsNonFlagToken) {
+  const char* argv[] = {"prog", "stray"};
+  EXPECT_THROW(CliArgs(2, argv), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace neatbound
