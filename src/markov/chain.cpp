@@ -44,7 +44,9 @@ MarkovChain::MarkovChain(TransitionMatrix matrix,
   if (state_names_.empty()) {
     state_names_.reserve(matrix_.size());
     for (std::size_t i = 0; i < matrix_.size(); ++i) {
-      state_names_.push_back("s" + std::to_string(i));
+      std::string name = "s";
+      name += std::to_string(i);
+      state_names_.push_back(std::move(name));
     }
   }
   NEATBOUND_EXPECTS(state_names_.size() == matrix_.size(),

@@ -21,7 +21,7 @@ TransitionMatrix two_state(double a, double b) {
 
 TEST(Spectral, TwoStateExactEigenvalue) {
   // λ₂ of the two-state chain is 1 − a − b.
-  for (const auto [a, b] : {std::pair{0.3, 0.1}, std::pair{0.05, 0.05},
+  for (const auto& [a, b] : {std::pair{0.3, 0.1}, std::pair{0.05, 0.05},
                             std::pair{0.5, 0.2}}) {
     const auto result = estimate_lambda2(two_state(a, b));
     ASSERT_TRUE(result.converged);

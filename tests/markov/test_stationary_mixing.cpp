@@ -21,7 +21,7 @@ TEST(Stationary, TwoStateClosedForm) {
   // π = (b, a)/(a+b).
   const double a = 0.3, b = 0.1;
   const auto m = two_state(a, b);
-  for (const auto result :
+  for (const auto& result :
        {solve_stationary_power(m), solve_stationary_fixed_point(m)}) {
     ASSERT_TRUE(result.converged);
     EXPECT_NEAR(result.distribution[0], b / (a + b), 1e-10);
