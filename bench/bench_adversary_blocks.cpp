@@ -1,10 +1,17 @@
 // Eq. (27)/(49) validation: A(t₀, t₀+T−1) ~ Binomial(Tνn, p) with mean
 // Tpνn, and the Arratia–Gordon upper-tail bound (the paper's Eq. 49)
 // evaluated alongside the empirical deviation.
+//
+// Orchestrated: each (Δ, c, ν) validation cell (its seeds included) runs
+// as one job on the shared pool (--threads); rows are emitted in grid
+// order, so output is identical to the serial sweep.
 #include <iostream>
 
 #include "analysis/validation.hpp"
+#include "exp/bench_io.hpp"
+#include "exp/grid.hpp"
 #include "support/cli.hpp"
+#include "support/parallel.hpp"
 #include "support/table.hpp"
 
 int main(int argc, char** argv) {
@@ -13,6 +20,7 @@ int main(int argc, char** argv) {
   const double n = args.get_double("n", 200);
   const std::uint64_t rounds = args.get_uint("rounds", 100000);
   const auto seeds = static_cast<std::uint32_t>(args.get_uint("seeds", 10));
+  const exp::BenchOptions io = exp::parse_bench_options(args);
   args.reject_unconsumed();
 
   std::cout << "# Eq. (27) — adversary block count: simulated vs T*p*nu*n, "
@@ -20,26 +28,39 @@ int main(int argc, char** argv) {
             << "# n=" << n << " rounds=" << rounds << " seeds=" << seeds
             << '\n';
 
-  TablePrinter table({"delta", "c", "nu", "expected", "simulated", "stderr",
-                      "ratio", "ln P[A >= 1.1 E[A]] bound"});
+  exp::BenchReporter report("bench_adversary_blocks", io);
+  report.set_meta_number("n", n);
+  report.set_meta_number("rounds", static_cast<double>(rounds));
+  report.set_meta_number("seeds", seeds);
+
+  exp::SweepGrid grid;
+  grid.axis("delta", {2.0, 8.0});
+  grid.axis("c", {1.0, 4.0});
+  grid.axis("nu", {0.1, 0.25, 0.4});
+  const auto points = grid.points();
+
+  std::vector<analysis::AdversaryCountRow> rows(points.size());
+  parallel_for_indexed(points.size(), io.threads, [&](std::size_t i) {
+    rows[i] = analysis::validate_adversary_count(
+        n, points[i].value("delta"), points[i].value("c"),
+        points[i].value("nu"), rounds, seeds);
+  });
+
+  report.begin_section("", {"delta", "c", "nu", "expected", "simulated",
+                            "stderr", "ratio",
+                            "ln P[A >= 1.1 E[A]] bound"});
   bool all_close = true;
-  for (const double delta : {2.0, 8.0}) {
-    for (const double c : {1.0, 4.0}) {
-      for (const double nu : {0.1, 0.25, 0.4}) {
-        const auto row = analysis::validate_adversary_count(
-            n, delta, c, nu, rounds, seeds);
-        all_close &= row.ratio > 0.95 && row.ratio < 1.05;
-        table.add_row(
-            {format_fixed(delta, 0), format_fixed(c, 0), format_fixed(nu, 2),
-             format_fixed(row.expected_count, 1),
-             format_fixed(row.simulated_mean, 1),
-             format_fixed(row.simulated_stderr, 1),
-             format_fixed(row.ratio, 4),
-             format_fixed(row.tail_exponent_at_10pct, 1)});
-      }
-    }
+  for (const auto& row : rows) {
+    all_close &= row.ratio > 0.95 && row.ratio < 1.05;
+    report.add_row(
+        {format_fixed(row.delta, 0), format_fixed(row.c, 0),
+         format_fixed(row.nu, 2), format_fixed(row.expected_count, 1),
+         format_fixed(row.simulated_mean, 1),
+         format_fixed(row.simulated_stderr, 1), format_fixed(row.ratio, 4),
+         format_fixed(row.tail_exponent_at_10pct, 1)});
   }
-  table.print(std::cout);
+  report.set_meta("all_within_5pct", all_close ? "yes" : "no");
+  report.finish();
   std::cout << "\ncheck: simulated/expected within 5% on every row: "
             << (all_close ? "yes" : "NO") << '\n';
   return all_close ? 0 : 1;

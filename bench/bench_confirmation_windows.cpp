@@ -2,14 +2,20 @@
 // for each (ν, c) at laptop-scale Δ, the window length T after which the
 // paper's union bound certifies failure probability ≤ 10⁻⁶ / 10⁻⁹ / 10⁻¹²,
 // built from bounds::required_confirmation_window (Eqs. 23/26/27/47/49).
+//
+// Orchestrated: each (ν, c) cell — including its suffix-chain mixing-time
+// solve — runs as one job on the shared pool (--threads).
 #include <cmath>
 #include <iostream>
 
 #include "bounds/confirmation.hpp"
 #include "bounds/zhao.hpp"
 #include "chains/suffix_chain.hpp"
+#include "exp/bench_io.hpp"
+#include "exp/grid.hpp"
 #include "markov/mixing.hpp"
 #include "support/cli.hpp"
+#include "support/parallel.hpp"
 #include "support/table.hpp"
 
 int main(int argc, char** argv) {
@@ -17,46 +23,58 @@ int main(int argc, char** argv) {
   CliArgs args(argc, argv);
   const double n = args.get_double("n", 200);
   const double delta = args.get_double("delta", 4);
+  const exp::BenchOptions io = exp::parse_bench_options(args);
   args.reject_unconsumed();
 
   std::cout << "# Confirmation windows (rounds) for failure targets, "
                "n=" << n << ", delta=" << delta << "\n"
             << "# '-' : Theorem 1 margin <= 1, no guarantee at any depth\n";
 
-  TablePrinter table({"nu", "c", "c/neat-bound", "ln-margin", "T(1e-6)",
-                      "T(1e-9)", "T(1e-12)"});
-  for (const double nu : {0.1, 0.2, 0.3, 0.4}) {
-    for (const double c : {2.0, 4.0, 8.0}) {
-      const auto params = bounds::ProtocolParams::from_c(n, delta, nu, c);
-      const double log_margin = bounds::theorem1_margin(params).log();
-      std::vector<std::string> row = {
-          format_fixed(nu, 2), format_fixed(c, 0),
-          format_fixed(c / bounds::neat_bound_c(nu), 2),
-          format_fixed(log_margin, 3)};
-      if (log_margin <= 0.0) {
-        row.insert(row.end(), {"-", "-", "-"});
-      } else {
-        const chains::SuffixStateSpace space(
-            static_cast<std::uint64_t>(delta));
-        const auto matrix = chains::build_suffix_chain_matrix(
-            space, params.alpha().linear());
-        const auto pi = chains::stationary_closed_form_vector(
-            space, params.alpha().linear());
-        const auto mix = markov::mixing_time(matrix, pi, 1.0 / 8.0, 1 << 18);
-        const double tau =
-            std::max<double>(1.0, static_cast<double>(mix.time));
-        for (const double target : {1e-6, 1e-9, 1e-12}) {
-          const auto window =
-              bounds::required_confirmation_window(params, tau, target);
-          row.push_back(window.has_value()
-                            ? format_general(window->rounds, 3)
-                            : "-");
-        }
+  exp::BenchReporter report("bench_confirmation_windows", io);
+  report.set_meta_number("n", n);
+  report.set_meta_number("delta", delta);
+
+  exp::SweepGrid grid;
+  grid.axis("nu", {0.1, 0.2, 0.3, 0.4});
+  grid.axis("c", {2.0, 4.0, 8.0});
+  const auto points = grid.points();
+
+  std::vector<std::vector<std::string>> rows(points.size());
+  parallel_for_indexed(points.size(), io.threads, [&](std::size_t i) {
+    const double nu = points[i].value("nu");
+    const double c = points[i].value("c");
+    const auto params = bounds::ProtocolParams::from_c(n, delta, nu, c);
+    const double log_margin = bounds::theorem1_margin(params).log();
+    std::vector<std::string> row = {
+        format_fixed(nu, 2), format_fixed(c, 0),
+        format_fixed(c / bounds::neat_bound_c(nu), 2),
+        format_fixed(log_margin, 3)};
+    if (log_margin <= 0.0) {
+      row.insert(row.end(), {"-", "-", "-"});
+    } else {
+      const chains::SuffixStateSpace space(
+          static_cast<std::uint64_t>(delta));
+      const auto matrix = chains::build_suffix_chain_matrix(
+          space, params.alpha().linear());
+      const auto pi = chains::stationary_closed_form_vector(
+          space, params.alpha().linear());
+      const auto mix = markov::mixing_time(matrix, pi, 1.0 / 8.0, 1 << 18);
+      const double tau =
+          std::max<double>(1.0, static_cast<double>(mix.time));
+      for (const double target : {1e-6, 1e-9, 1e-12}) {
+        const auto window =
+            bounds::required_confirmation_window(params, tau, target);
+        row.push_back(window.has_value() ? format_general(window->rounds, 3)
+                                         : "-");
       }
-      table.add_row(row);
     }
-  }
-  table.print(std::cout);
+    rows[i] = std::move(row);
+  });
+
+  report.begin_section("", {"nu", "c", "c/neat-bound", "ln-margin",
+                            "T(1e-6)", "T(1e-9)", "T(1e-12)"});
+  for (const auto& row : rows) report.add_row(row);
+  report.finish();
   std::cout << "\nreading: windows shrink rapidly as the margin grows "
                "(higher c, lower nu) and scale linearly in ln(1/target) — "
                "the exp(-Omega(T)) of Definition 1 made concrete.  The "

@@ -3,10 +3,16 @@
 // The aggregate engine samples per-round honest block counts and counts
 // convergence-opportunity patterns (H N^{≥Δ} H₁ N^Δ); across seeds the
 // mean must match the analytic expectation.  Swept over (Δ, c, ν).
+//
+// Orchestrated: each (Δ, c, ν) validation cell runs as one job on the
+// shared pool (--threads); rows are emitted in grid order.
 #include <iostream>
 
 #include "analysis/validation.hpp"
+#include "exp/bench_io.hpp"
+#include "exp/grid.hpp"
 #include "support/cli.hpp"
+#include "support/parallel.hpp"
 #include "support/table.hpp"
 
 int main(int argc, char** argv) {
@@ -15,6 +21,7 @@ int main(int argc, char** argv) {
   const double n = args.get_double("n", 200);
   const std::uint64_t rounds = args.get_uint("rounds", 200000);
   const auto seeds = static_cast<std::uint32_t>(args.get_uint("seeds", 10));
+  const exp::BenchOptions io = exp::parse_bench_options(args);
   args.reject_unconsumed();
 
   std::cout << "# Eq. (26)/(44) — convergence-opportunity rate: simulated vs "
@@ -22,26 +29,40 @@ int main(int argc, char** argv) {
             << "# n=" << n << " rounds=" << rounds << " seeds=" << seeds
             << '\n';
 
-  TablePrinter table({"delta", "c", "nu", "analytic rate", "expected count",
-                      "simulated mean", "stderr", "ratio", "in 95% CI"});
+  exp::BenchReporter report("bench_convergence_rate", io);
+  report.set_meta_number("n", n);
+  report.set_meta_number("rounds", static_cast<double>(rounds));
+  report.set_meta_number("seeds", seeds);
+
+  exp::SweepGrid grid;
+  grid.axis("delta", {2.0, 4.0, 8.0});
+  grid.axis("c", {2.0, 4.0, 8.0});
+  grid.axis("nu", {0.1, 0.3});
+  const auto points = grid.points();
+
+  std::vector<analysis::ConvergenceRateRow> rows(points.size());
+  parallel_for_indexed(points.size(), io.threads, [&](std::size_t i) {
+    rows[i] = analysis::validate_convergence_rate(
+        n, points[i].value("delta"), points[i].value("c"),
+        points[i].value("nu"), rounds, seeds);
+  });
+
+  report.begin_section("", {"delta", "c", "nu", "analytic rate",
+                            "expected count", "simulated mean", "stderr",
+                            "ratio", "in 95% CI"});
   bool all_in_ci = true;
-  for (const double delta : {2.0, 4.0, 8.0}) {
-    for (const double c : {2.0, 4.0, 8.0}) {
-      for (const double nu : {0.1, 0.3}) {
-        const auto row = analysis::validate_convergence_rate(
-            n, delta, c, nu, rounds, seeds);
-        const bool in_ci = row.ci.contains(row.expected_count);
-        all_in_ci &= in_ci;
-        table.add_row({format_fixed(delta, 0), format_fixed(c, 0),
-                       format_fixed(nu, 2), format_sci(row.analytic_rate, 3),
-                       format_fixed(row.expected_count, 1),
-                       format_fixed(row.simulated_mean, 1),
-                       format_fixed(row.simulated_stderr, 1),
-                       format_fixed(row.ratio, 4), in_ci ? "yes" : "NO"});
-      }
-    }
+  for (const auto& row : rows) {
+    const bool in_ci = row.ci.contains(row.expected_count);
+    all_in_ci &= in_ci;
+    report.add_row({format_fixed(row.delta, 0), format_fixed(row.c, 0),
+                    format_fixed(row.nu, 2), format_sci(row.analytic_rate, 3),
+                    format_fixed(row.expected_count, 1),
+                    format_fixed(row.simulated_mean, 1),
+                    format_fixed(row.simulated_stderr, 1),
+                    format_fixed(row.ratio, 4), in_ci ? "yes" : "NO"});
   }
-  table.print(std::cout);
+  report.set_meta("all_in_ci", all_in_ci ? "yes" : "no");
+  report.finish();
   std::cout << "\ncheck: analytic expectation inside the 95% CI of the "
                "simulated mean on every row: "
             << (all_in_ci ? "yes" : "NO (1-2 marginal rows can flip by "

@@ -4,13 +4,15 @@
 // with the exact Theorem-1 frontier, the full Theorem-2 expression, the
 // exact PSS condition, and both Kiffer renewal variants.
 //
-// Flags: --n, --delta, --points, --csv=<path>.
+// Flags: --n, --delta, --points, plus the uniform --threads/--csv/--json
+// (each c's frontier solves run as one pool job).
 #include <iostream>
-#include <memory>
 
 #include "analysis/figure1.hpp"
+#include "exp/bench_io.hpp"
+#include "exp/grid.hpp"
 #include "support/cli.hpp"
-#include "support/csv.hpp"
+#include "support/parallel.hpp"
 #include "support/table.hpp"
 
 int main(int argc, char** argv) {
@@ -19,39 +21,41 @@ int main(int argc, char** argv) {
   const double n = args.get_double("n", 1e5);
   const double delta = args.get_double("delta", 1e13);
   const auto points = static_cast<std::size_t>(args.get_uint("points", 25));
-  const std::string csv_path = args.get_string("csv", "");
+  const exp::BenchOptions io = exp::parse_bench_options(args);
   args.reject_unconsumed();
 
   std::cout << "# Figure 1 — nu_max vs c  (n=" << format_general(n)
             << ", delta=" << format_general(delta) << ")\n"
             << "# paper curves: zhao_neat (magenta), pss (blue), attack (red)\n";
 
-  const auto grid = analysis::figure1_c_grid(points);
-  const auto rows = analysis::figure1_series(grid, n, delta);
+  exp::BenchReporter report("bench_fig1_consistency_bounds", io);
+  report.set_meta_number("n", n);
+  report.set_meta_number("delta", delta);
 
-  const std::vector<std::string> headers = {
-      "c",          "zhao_neat", "zhao_thm2", "zhao_thm1_exact",
-      "pss_closed", "pss_exact", "attack",    "kiffer_corr",
-      "kiffer_pub"};
-  TablePrinter table(headers);
-  std::unique_ptr<CsvWriter> csv;
-  if (!csv_path.empty()) csv = std::make_unique<CsvWriter>(csv_path, headers);
+  exp::SweepGrid grid;
+  grid.axis("c", analysis::figure1_c_grid(points));
+  const std::size_t cells = grid.size();
 
+  std::vector<analysis::Figure1Row> rows(cells);
+  parallel_for_indexed(cells, io.threads, [&](std::size_t i) {
+    const double c = grid.point(i).value("c");
+    rows[i] = analysis::figure1_series({&c, 1}, n, delta).front();
+  });
+
+  report.begin_section("", {"c", "zhao_neat", "zhao_thm2", "zhao_thm1_exact",
+                            "pss_closed", "pss_exact", "attack",
+                            "kiffer_corr", "kiffer_pub"});
   for (const auto& row : rows) {
-    const std::vector<std::string> cells = {
-        format_general(row.c, 4),
-        format_fixed(row.nu_zhao_neat, 6),
-        format_fixed(row.nu_zhao_theorem2, 6),
-        format_fixed(row.nu_zhao_theorem1, 6),
-        format_fixed(row.nu_pss, 6),
-        format_fixed(row.nu_pss_exact, 6),
-        format_fixed(row.nu_attack, 6),
-        format_fixed(row.nu_kiffer_corrected, 6),
-        format_fixed(row.nu_kiffer_published, 6)};
-    table.add_row(cells);
-    if (csv) csv->add_row(cells);
+    report.add_row({format_general(row.c, 4),
+                    format_fixed(row.nu_zhao_neat, 6),
+                    format_fixed(row.nu_zhao_theorem2, 6),
+                    format_fixed(row.nu_zhao_theorem1, 6),
+                    format_fixed(row.nu_pss, 6),
+                    format_fixed(row.nu_pss_exact, 6),
+                    format_fixed(row.nu_attack, 6),
+                    format_fixed(row.nu_kiffer_corrected, 6),
+                    format_fixed(row.nu_kiffer_published, 6)});
   }
-  table.print(std::cout);
 
   // The qualitative claims of the figure, checked programmatically.
   bool magenta_above_blue = true, red_above_magenta = true;
@@ -59,6 +63,9 @@ int main(int argc, char** argv) {
     magenta_above_blue &= row.nu_zhao_neat > row.nu_pss;
     red_above_magenta &= row.nu_attack > row.nu_zhao_neat;
   }
+  report.set_meta("magenta_above_blue", magenta_above_blue ? "yes" : "no");
+  report.set_meta("red_above_magenta", red_above_magenta ? "yes" : "no");
+  report.finish();
   std::cout << "\ncheck: magenta strictly above blue at every c: "
             << (magenta_above_blue ? "yes" : "NO") << '\n'
             << "check: red (attack) strictly above magenta at every c: "

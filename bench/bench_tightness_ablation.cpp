@@ -5,10 +5,16 @@
 //       → neat asymptote 2μ/ln(μ/ν)
 // compared against both Kiffer renewal variants, across Δ — quantifying
 // the claims in the paper's "Novelty of our Theorem 1/2" discussion.
+//
+// Orchestrated: each (Δ, c) cell's frontier solves run as one pool job
+// (--threads); rows are emitted in grid order.
 #include <iostream>
 
 #include "bounds/frontier.hpp"
+#include "exp/bench_io.hpp"
+#include "exp/grid.hpp"
 #include "support/cli.hpp"
+#include "support/parallel.hpp"
 #include "support/table.hpp"
 
 int main(int argc, char** argv) {
@@ -16,28 +22,41 @@ int main(int argc, char** argv) {
   using bounds::BoundKind;
   CliArgs args(argc, argv);
   const double n = args.get_double("n", 1e5);
+  const exp::BenchOptions io = exp::parse_bench_options(args);
   args.reject_unconsumed();
 
   std::cout << "# Tightness ablation — nu_max by bound, across delta "
                "(n=" << format_general(n) << ")\n";
-  TablePrinter table({"delta", "c", "thm1 exact", "thm2", "neat",
-                      "kiffer_corr", "thm2/thm1", "neat vs thm2"});
-  for (const double delta : {4.0, 64.0, 1e4, 1e13}) {
-    for (const double c : {1.0, 3.0, 10.0}) {
-      const double t1 =
-          bounds::nu_max(BoundKind::kZhaoTheorem1Exact, c, n, delta);
-      const double t2 = bounds::nu_max(BoundKind::kZhaoTheorem2, c, n, delta);
-      const double neat = bounds::nu_max(BoundKind::kZhaoNeat, c, n, delta);
-      const double kc =
-          bounds::nu_max(BoundKind::kKifferCorrected, c, n, delta);
-      table.add_row({format_general(delta, 3), format_fixed(c, 1),
-                     format_general(t1, 6), format_general(t2, 6),
-                     format_general(neat, 6), format_general(kc, 6),
-                     t1 > 0 ? format_fixed(t2 / t1, 4) : "-",
-                     t2 > 0 ? format_fixed(neat / t2, 4) : "-"});
-    }
-  }
-  table.print(std::cout);
+
+  exp::BenchReporter report("bench_tightness_ablation", io);
+  report.set_meta_number("n", n);
+
+  exp::SweepGrid grid;
+  grid.axis("delta", {4.0, 64.0, 1e4, 1e13});
+  grid.axis("c", {1.0, 3.0, 10.0});
+  const auto points = grid.points();
+
+  std::vector<std::vector<std::string>> rows(points.size());
+  parallel_for_indexed(points.size(), io.threads, [&](std::size_t i) {
+    const double delta = points[i].value("delta");
+    const double c = points[i].value("c");
+    const double t1 =
+        bounds::nu_max(BoundKind::kZhaoTheorem1Exact, c, n, delta);
+    const double t2 = bounds::nu_max(BoundKind::kZhaoTheorem2, c, n, delta);
+    const double neat = bounds::nu_max(BoundKind::kZhaoNeat, c, n, delta);
+    const double kc =
+        bounds::nu_max(BoundKind::kKifferCorrected, c, n, delta);
+    rows[i] = {format_general(delta, 3), format_fixed(c, 1),
+               format_general(t1, 6), format_general(t2, 6),
+               format_general(neat, 6), format_general(kc, 6),
+               t1 > 0 ? format_fixed(t2 / t1, 4) : "-",
+               t2 > 0 ? format_fixed(neat / t2, 4) : "-"};
+  });
+
+  report.begin_section("", {"delta", "c", "thm1 exact", "thm2", "neat",
+                            "kiffer_corr", "thm2/thm1", "neat vs thm2"});
+  for (const auto& row : rows) report.add_row(row);
+  report.finish();
   std::cout
       << "\nreading: at delta=1e13 the three Zhao frontiers collapse "
          "(thm2/thm1 = 1), i.e. the neat bound gives away nothing at paper "

@@ -1,0 +1,79 @@
+#include "exp/grid.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace neatbound::exp {
+
+GridPoint::GridPoint(std::vector<std::string> names, std::size_t index,
+                     std::vector<double> values)
+    : names_(std::move(names)), index_(index), values_(std::move(values)) {}
+
+double GridPoint::value(const std::string& axis) const {
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == axis) return values_[i];
+  }
+  throw std::out_of_range("GridPoint: no axis named '" + axis + "'");
+}
+
+double GridPoint::value(std::size_t axis) const { return values_.at(axis); }
+
+SweepGrid& SweepGrid::axis(std::string name, std::vector<double> values) {
+  if (values.empty()) {
+    throw std::invalid_argument("SweepGrid: axis '" + name +
+                                "' needs at least one value");
+  }
+  for (const std::string& existing : names_) {
+    if (existing == name) {
+      throw std::invalid_argument("SweepGrid: duplicate axis '" + name + "'");
+    }
+  }
+  names_.push_back(std::move(name));
+  values_.push_back(std::move(values));
+  return *this;
+}
+
+std::size_t SweepGrid::size() const noexcept {
+  std::size_t product = 1;
+  for (const auto& axis : values_) product *= axis.size();
+  return product;
+}
+
+const std::string& SweepGrid::axis_name(std::size_t i) const {
+  return names_.at(i);
+}
+
+const std::vector<double>& SweepGrid::axis_values(std::size_t i) const {
+  return values_.at(i);
+}
+
+std::size_t SweepGrid::axis_index(const std::string& name) const {
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) return i;
+  }
+  throw std::out_of_range("SweepGrid: no axis named '" + name + "'");
+}
+
+GridPoint SweepGrid::point(std::size_t index) const {
+  if (index >= size()) {
+    throw std::out_of_range("SweepGrid: point index out of range");
+  }
+  std::vector<double> values(values_.size());
+  std::size_t rest = index;
+  for (std::size_t i = values_.size(); i-- > 0;) {
+    const auto& axis = values_[i];
+    values[i] = axis[rest % axis.size()];
+    rest /= axis.size();
+  }
+  return GridPoint(names_, index, std::move(values));
+}
+
+std::vector<GridPoint> SweepGrid::points() const {
+  std::vector<GridPoint> out;
+  const std::size_t n = size();
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(point(i));
+  return out;
+}
+
+}  // namespace neatbound::exp

@@ -1,16 +1,14 @@
 #include "sim/runner.hpp"
 
-#include <atomic>
 #include <cmath>
-#include <thread>
+#include <vector>
+
+#include "support/parallel.hpp"
 
 namespace neatbound::sim {
 
-namespace {
-/// Folds one run's metrics into the summary (shared by all runner paths
-/// so serial and parallel aggregation cannot drift apart).
-void accumulate(ExperimentSummary& summary, const RunResult& result,
-                std::uint64_t violation_t) {
+void accumulate_run(ExperimentSummary& summary, const RunResult& result,
+                    std::uint64_t violation_t) {
   summary.convergence_opportunities.add(
       static_cast<double>(result.convergence_opportunities));
   summary.adversary_blocks.add(
@@ -28,73 +26,70 @@ void accumulate(ExperimentSummary& summary, const RunResult& result,
       result.violation_depth > violation_t ? 1.0 : 0.0);
 }
 
-std::unique_ptr<Adversary> default_adversary(AdversaryKind kind,
-                                             const EngineConfig& engine_config) {
+std::unique_ptr<Adversary> make_default_adversary(
+    AdversaryKind kind, const EngineConfig& engine_config) {
   const auto corrupted = static_cast<std::uint32_t>(
       std::llround(engine_config.adversary_fraction *
                    static_cast<double>(engine_config.miner_count)));
   return make_adversary(kind, engine_config.miner_count - corrupted,
                         engine_config.delta);
 }
-}  // namespace
 
-ExperimentSummary run_experiment_with(
-    const ExperimentConfig& config, std::uint64_t violation_t,
-    const std::function<std::unique_ptr<Adversary>(const EngineConfig&)>&
-        factory) {
+AdversaryFactory default_adversary_factory(AdversaryKind kind) {
+  return [kind](const EngineConfig& engine_config) {
+    return make_default_adversary(kind, engine_config);
+  };
+}
+
+ExperimentSummary run_experiment_with(const ExperimentConfig& config,
+                                      std::uint64_t violation_t,
+                                      const AdversaryFactory& factory) {
   ExperimentSummary summary;
   for (std::uint32_t k = 0; k < config.seeds; ++k) {
     EngineConfig engine_config = config.engine;
     engine_config.seed = config.base_seed + k;
     ExecutionEngine engine(engine_config, factory(engine_config));
-    accumulate(summary, engine.run(), violation_t);
+    accumulate_run(summary, engine.run(), violation_t);
   }
   return summary;
 }
 
 ExperimentSummary run_experiment(const ExperimentConfig& config,
                                  std::uint64_t violation_t) {
-  const AdversaryKind kind = config.adversary;
   return run_experiment_with(config, violation_t,
-                             [kind](const EngineConfig& engine_config) {
-                               return default_adversary(kind, engine_config);
-                             });
+                             default_adversary_factory(config.adversary));
+}
+
+ExperimentSummary run_experiment_parallel_with(const ExperimentConfig& config,
+                                               std::uint64_t violation_t,
+                                               const AdversaryFactory& factory,
+                                               unsigned threads) {
+  threads = resolve_thread_count(threads);
+  threads = std::min<unsigned>(threads, config.seeds);
+  if (threads <= 1) return run_experiment_with(config, violation_t, factory);
+
+  std::vector<RunResult> results(config.seeds);
+  parallel_for_indexed(config.seeds, threads, [&](std::size_t k) {
+    EngineConfig engine_config = config.engine;
+    engine_config.seed = config.base_seed + k;
+    ExecutionEngine engine(engine_config, factory(engine_config));
+    results[k] = engine.run();
+  });
+
+  // Sequential, seed-ordered aggregation: identical to the serial path.
+  ExperimentSummary summary;
+  for (const RunResult& result : results) {
+    accumulate_run(summary, result, violation_t);
+  }
+  return summary;
 }
 
 ExperimentSummary run_experiment_parallel(const ExperimentConfig& config,
                                           std::uint64_t violation_t,
                                           unsigned threads) {
-  if (threads == 0) {
-    threads = std::max(1u, std::thread::hardware_concurrency());
-  }
-  threads = std::min<unsigned>(threads, config.seeds);
-  if (threads <= 1) return run_experiment(config, violation_t);
-
-  const AdversaryKind kind = config.adversary;
-  std::vector<RunResult> results(config.seeds);
-  std::atomic<std::uint32_t> next_seed{0};
-  auto worker = [&]() {
-    for (;;) {
-      const std::uint32_t k = next_seed.fetch_add(1);
-      if (k >= config.seeds) return;
-      EngineConfig engine_config = config.engine;
-      engine_config.seed = config.base_seed + k;
-      ExecutionEngine engine(engine_config,
-                             default_adversary(kind, engine_config));
-      results[k] = engine.run();
-    }
-  };
-  std::vector<std::thread> pool;
-  pool.reserve(threads);
-  for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
-  for (std::thread& t : pool) t.join();
-
-  // Sequential, seed-ordered aggregation: identical to the serial path.
-  ExperimentSummary summary;
-  for (const RunResult& result : results) {
-    accumulate(summary, result, violation_t);
-  }
-  return summary;
+  return run_experiment_parallel_with(
+      config, violation_t, default_adversary_factory(config.adversary),
+      threads);
 }
 
 }  // namespace neatbound::sim

@@ -38,6 +38,24 @@ struct ExperimentSummary {
   stats::RunningStats violation_exceeds_t;
 };
 
+/// Per-config adversary construction hook shared by every runner variant.
+using AdversaryFactory =
+    std::function<std::unique_ptr<Adversary>(const EngineConfig&)>;
+
+/// The adversary run_experiment builds implicitly: make_adversary(kind, …)
+/// sized from the engine config's miner count and fraction.
+[[nodiscard]] std::unique_ptr<Adversary> make_default_adversary(
+    AdversaryKind kind, const EngineConfig& engine_config);
+
+/// make_default_adversary wrapped as a per-config factory.
+[[nodiscard]] AdversaryFactory default_adversary_factory(AdversaryKind kind);
+
+/// Folds one engine run into the summary.  Exposed so higher layers (the
+/// sweep orchestrator) aggregate with exactly the serial runner's
+/// arithmetic — the bit-identical guarantee hangs on sharing this.
+void accumulate_run(ExperimentSummary& summary, const RunResult& result,
+                    std::uint64_t violation_t);
+
 /// Runs `config.seeds` executions.  `violation_t` parameterizes the
 /// consistency predicate: a run "violates T-consistency" iff its observed
 /// violation depth exceeds violation_t.
@@ -47,17 +65,23 @@ struct ExperimentSummary {
 /// Hook for custom adversaries: same aggregation, caller-provided factory.
 [[nodiscard]] ExperimentSummary run_experiment_with(
     const ExperimentConfig& config, std::uint64_t violation_t,
-    const std::function<std::unique_ptr<Adversary>(const EngineConfig&)>&
-        factory);
+    const AdversaryFactory& factory);
 
 /// Multi-threaded variant: seeds are distributed over `threads` workers
 /// (0 = hardware concurrency).  Per-seed results are collected into a
 /// seed-indexed vector and aggregated sequentially, so the summary is
 /// bit-identical to the serial runner regardless of scheduling.
-/// The factory must be callable concurrently (it is invoked once per seed,
-/// each invocation producing an adversary owned by one engine).
+/// If an engine run throws in a worker, the first exception is rethrown
+/// here after all workers have joined.
 [[nodiscard]] ExperimentSummary run_experiment_parallel(
     const ExperimentConfig& config, std::uint64_t violation_t,
     unsigned threads = 0);
+
+/// Parallel variant with a caller-provided adversary factory.  The factory
+/// must be callable concurrently (it is invoked once per seed, each
+/// invocation producing an adversary owned by one engine).
+[[nodiscard]] ExperimentSummary run_experiment_parallel_with(
+    const ExperimentConfig& config, std::uint64_t violation_t,
+    const AdversaryFactory& factory, unsigned threads = 0);
 
 }  // namespace neatbound::sim

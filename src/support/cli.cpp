@@ -56,12 +56,28 @@ std::int64_t CliArgs::get_int(const std::string& name,
 
 std::uint64_t CliArgs::get_uint(const std::string& name,
                                 std::uint64_t default_value) {
-  const std::int64_t v =
-      get_int(name, static_cast<std::int64_t>(default_value));
-  if (v < 0) {
+  consumed_.insert(name);
+  const auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  // std::stoull wraps negative input instead of failing, so reject a
+  // leading '-' up front (skipping the same whitespace set stoull does);
+  // parse unsigned directly to keep (INT64_MAX, UINT64_MAX] representable.
+  const std::size_t first = it->second.find_first_not_of(" \t\n\v\f\r");
+  if (first != std::string::npos && it->second[first] == '-') {
     throw std::runtime_error("CliArgs: flag --" + name + " must be >= 0");
   }
-  return static_cast<std::uint64_t>(v);
+  try {
+    std::size_t parsed = 0;
+    const std::uint64_t v = std::stoull(it->second, &parsed);
+    if (parsed != it->second.size()) {
+      throw std::runtime_error("trailing characters");
+    }
+    return v;
+  } catch (const std::exception&) {
+    throw std::runtime_error("CliArgs: flag --" + name +
+                             " expects an unsigned integer, got '" +
+                             it->second + "'");
+  }
 }
 
 bool CliArgs::get_bool(const std::string& name, bool default_value) {
@@ -75,6 +91,7 @@ bool CliArgs::get_bool(const std::string& name, bool default_value) {
 }
 
 bool CliArgs::has(const std::string& name) const {
+  consumed_.insert(name);
   return values_.count(name) > 0;
 }
 

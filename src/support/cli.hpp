@@ -26,6 +26,8 @@ class CliArgs {
                                        std::uint64_t default_value);
   [[nodiscard]] bool get_bool(const std::string& name, bool default_value);
 
+  /// True if the flag was provided.  Probing counts as consumption, so a
+  /// flag handled only through has() does not trip reject_unconsumed().
   [[nodiscard]] bool has(const std::string& name) const;
 
   /// Throws if any provided flag was never consumed by a getter — catches
@@ -34,7 +36,8 @@ class CliArgs {
 
  private:
   std::map<std::string, std::string> values_;
-  std::set<std::string> consumed_;
+  /// mutable so the const probe has() can record consumption too.
+  mutable std::set<std::string> consumed_;
 };
 
 }  // namespace neatbound

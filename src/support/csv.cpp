@@ -22,6 +22,15 @@ std::string quoted(const std::string& cell) {
 }
 }  // namespace
 
+std::string csv_format_row(const std::vector<std::string>& cells) {
+  std::string out;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) out += ',';
+    out += needs_quoting(cells[i]) ? quoted(cells[i]) : cells[i];
+  }
+  return out;
+}
+
 CsvWriter::CsvWriter(const std::string& path,
                      const std::vector<std::string>& header)
     : out_(path), columns_(header.size()) {
@@ -39,11 +48,7 @@ void CsvWriter::add_row(const std::vector<std::string>& cells) {
 }
 
 void CsvWriter::write_row(const std::vector<std::string>& cells) {
-  for (std::size_t i = 0; i < cells.size(); ++i) {
-    if (i > 0) out_ << ',';
-    out_ << (needs_quoting(cells[i]) ? quoted(cells[i]) : cells[i]);
-  }
-  out_ << '\n';
+  out_ << csv_format_row(cells) << '\n';
 }
 
 void CsvWriter::close() {

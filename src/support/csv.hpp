@@ -8,6 +8,10 @@
 
 namespace neatbound {
 
+/// Serializes one row with RFC-4180 quoting (cells containing , " or
+/// newline are quoted, embedded quotes doubled).  No trailing newline.
+[[nodiscard]] std::string csv_format_row(const std::vector<std::string>& cells);
+
 /// RFC-4180-style CSV writer (quotes cells containing , " or newline).
 class CsvWriter {
  public:

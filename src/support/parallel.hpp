@@ -1,0 +1,30 @@
+// Shared work pool for index-addressed task sets: the engine runner and
+// the experiment orchestrator both schedule independent jobs 0..count-1
+// over a fixed set of worker threads pulling from one atomic counter.
+// Unlike a naive thread loop, a worker exception does not std::terminate
+// the process: the first exception is captured, every worker is joined,
+// and the exception is rethrown in the calling thread.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace neatbound {
+
+/// Maps the conventional "0 means auto" thread request onto a concrete
+/// worker count: 0 → std::thread::hardware_concurrency() (at least 1).
+[[nodiscard]] unsigned resolve_thread_count(unsigned requested) noexcept;
+
+/// Invokes `fn(i)` exactly once for every i in [0, count) using
+/// min(threads, count) workers (threads is resolved via
+/// resolve_thread_count first).  With one worker the calls happen inline
+/// on the calling thread, in index order — the serial fallback.
+///
+/// Exception safety: if any invocation throws, workers stop pulling new
+/// indices, all threads are joined, and the first captured exception is
+/// rethrown here.  Already-started invocations still run to completion,
+/// so `fn` must leave shared state consistent on its own.
+void parallel_for_indexed(std::size_t count, unsigned threads,
+                          const std::function<void(std::size_t)>& fn);
+
+}  // namespace neatbound

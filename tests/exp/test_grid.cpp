@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "exp/grid.hpp"
+
+namespace neatbound::exp {
+namespace {
+
+TEST(SweepGrid, EmptyGridHasOnePoint) {
+  SweepGrid grid;
+  EXPECT_EQ(grid.size(), 1u);
+  EXPECT_EQ(grid.point(0).axis_count(), 0u);
+}
+
+TEST(SweepGrid, SizeIsProductOfAxes) {
+  SweepGrid grid;
+  grid.axis("a", {1, 2, 3}).axis("b", {10, 20});
+  EXPECT_EQ(grid.axis_count(), 2u);
+  EXPECT_EQ(grid.size(), 6u);
+}
+
+TEST(SweepGrid, RowMajorOrderLastAxisFastest) {
+  SweepGrid grid;
+  grid.axis("a", {1, 2}).axis("b", {10, 20, 30});
+  // Expected enumeration: (1,10) (1,20) (1,30) (2,10) (2,20) (2,30) —
+  // matching nested for-loops with "a" outermost.
+  const auto points = grid.points();
+  ASSERT_EQ(points.size(), 6u);
+  const double expected[6][2] = {{1, 10}, {1, 20}, {1, 30},
+                                 {2, 10}, {2, 20}, {2, 30}};
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(points[i].index(), i);
+    EXPECT_DOUBLE_EQ(points[i].value("a"), expected[i][0]);
+    EXPECT_DOUBLE_EQ(points[i].value("b"), expected[i][1]);
+    EXPECT_DOUBLE_EQ(points[i].value(0), expected[i][0]);
+    EXPECT_DOUBLE_EQ(points[i].value(1), expected[i][1]);
+  }
+}
+
+TEST(SweepGrid, PointMatchesPointsEnumeration) {
+  SweepGrid grid;
+  grid.axis("x", {0.5, 1.5}).axis("y", {2.5}).axis("z", {3, 4, 5});
+  const auto points = grid.points();
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    const GridPoint p = grid.point(i);
+    for (std::size_t a = 0; a < grid.axis_count(); ++a) {
+      EXPECT_DOUBLE_EQ(p.value(a), points[i].value(a));
+    }
+  }
+}
+
+TEST(SweepGrid, PointsOutliveTheGrid) {
+  std::vector<GridPoint> points;
+  {
+    SweepGrid grid;
+    grid.axis("a", {1, 2}).axis("b", {7});
+    points = grid.points();
+  }  // grid destroyed; points must stay fully usable
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_DOUBLE_EQ(points[1].value("a"), 2.0);
+  EXPECT_DOUBLE_EQ(points[1].value("b"), 7.0);
+  EXPECT_THROW((void)points[0].value("missing"), std::out_of_range);
+}
+
+TEST(SweepGrid, RejectsEmptyAxis) {
+  SweepGrid grid;
+  EXPECT_THROW(grid.axis("empty", {}), std::invalid_argument);
+}
+
+TEST(SweepGrid, RejectsDuplicateAxis) {
+  SweepGrid grid;
+  grid.axis("a", {1});
+  EXPECT_THROW(grid.axis("a", {2}), std::invalid_argument);
+}
+
+TEST(SweepGrid, UnknownAxisNameThrows) {
+  SweepGrid grid;
+  grid.axis("a", {1});
+  EXPECT_THROW((void)grid.point(0).value("missing"), std::out_of_range);
+  EXPECT_THROW((void)grid.axis_index("missing"), std::out_of_range);
+}
+
+TEST(SweepGrid, OutOfRangePointThrows) {
+  SweepGrid grid;
+  grid.axis("a", {1, 2});
+  EXPECT_THROW((void)grid.point(2), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace neatbound::exp

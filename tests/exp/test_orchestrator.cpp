@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <random>
+#include <stdexcept>
+
+#include "exp/grid.hpp"
+#include "exp/orchestrator.hpp"
+#include "sim/runner.hpp"
+#include "stats/summary.hpp"
+
+namespace neatbound::exp {
+namespace {
+
+sim::ExperimentConfig cell_config(double nu, double p,
+                                  sim::AdversaryKind kind) {
+  sim::ExperimentConfig config;
+  config.engine.miner_count = 12;
+  config.engine.adversary_fraction = nu;
+  config.engine.p = p;
+  config.engine.delta = 2;
+  config.engine.rounds = 800;
+  config.adversary = kind;
+  config.seeds = 3;
+  config.base_seed = 9000;
+  return config;
+}
+
+void expect_identical(const sim::ExperimentSummary& a,
+                      const sim::ExperimentSummary& b) {
+  EXPECT_EQ(a.violation_depth.count(), b.violation_depth.count());
+  EXPECT_DOUBLE_EQ(a.convergence_opportunities.mean(),
+                   b.convergence_opportunities.mean());
+  EXPECT_DOUBLE_EQ(a.adversary_blocks.mean(), b.adversary_blocks.mean());
+  EXPECT_DOUBLE_EQ(a.honest_blocks.variance(), b.honest_blocks.variance());
+  EXPECT_DOUBLE_EQ(a.violation_depth.max(), b.violation_depth.max());
+  EXPECT_DOUBLE_EQ(a.max_reorg_depth.mean(), b.max_reorg_depth.mean());
+  EXPECT_DOUBLE_EQ(a.max_divergence.mean(), b.max_divergence.mean());
+  EXPECT_DOUBLE_EQ(a.disagreement_rounds.mean(),
+                   b.disagreement_rounds.mean());
+  EXPECT_DOUBLE_EQ(a.chain_growth.mean(), b.chain_growth.mean());
+  EXPECT_DOUBLE_EQ(a.chain_quality.mean(), b.chain_quality.mean());
+  EXPECT_DOUBLE_EQ(a.best_height.mean(), b.best_height.mean());
+  EXPECT_DOUBLE_EQ(a.violation_exceeds_t.mean(),
+                   b.violation_exceeds_t.mean());
+}
+
+/// The tentpole guarantee: the pooled grid×seed sweep produces, for every
+/// adversary kind, summaries bit-identical to running each cell through
+/// the serial single-cell runner.
+TEST(Orchestrator, GridParallelBitIdenticalToSerialForEveryAdversaryKind) {
+  const sim::AdversaryKind kinds[] = {
+      sim::AdversaryKind::kNull, sim::AdversaryKind::kMaxDelay,
+      sim::AdversaryKind::kPrivateWithhold, sim::AdversaryKind::kBalanceAttack,
+      sim::AdversaryKind::kSelfishMining};
+
+  SweepGrid grid;
+  grid.axis("kind", {0, 1, 2, 3, 4});
+  grid.axis("nu", {0.2, 0.35});
+
+  const auto build = [&](const GridPoint& point) {
+    return cell_config(point.value("nu"), 0.01,
+                       kinds[static_cast<std::size_t>(point.value("kind"))]);
+  };
+
+  const SweepOptions serial{.violation_t = 5, .threads = 1};
+  const SweepOptions pooled{.violation_t = 5, .threads = 4};
+  const auto parallel_cells = run_sweep(grid, build, pooled);
+  ASSERT_EQ(parallel_cells.size(), grid.size());
+
+  for (const SweepCell& cell : parallel_cells) {
+    const auto serial_summary =
+        sim::run_experiment(cell.config, serial.violation_t);
+    expect_identical(serial_summary, cell.summary);
+  }
+}
+
+TEST(Orchestrator, CellsComeBackInGridOrder) {
+  SweepGrid grid;
+  grid.axis("nu", {0.1, 0.2, 0.3});
+  const auto build = [](const GridPoint& point) {
+    return cell_config(point.value("nu"), 0.02,
+                       sim::AdversaryKind::kMaxDelay);
+  };
+  const auto cells =
+      run_sweep(grid, build, {.violation_t = 5, .threads = 3});
+  ASSERT_EQ(cells.size(), 3u);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    EXPECT_EQ(cells[i].point.index(), i);
+    EXPECT_DOUBLE_EQ(cells[i].point.value("nu"), 0.1 + 0.1 * static_cast<double>(i));
+    EXPECT_EQ(cells[i].summary.honest_blocks.count(), cells[i].config.seeds);
+  }
+}
+
+TEST(Orchestrator, CustomFactoryIsUsedAndSeedsVary) {
+  SweepGrid grid;
+  grid.axis("nu", {0.25});
+  const auto build = [](const GridPoint& point) {
+    return cell_config(point.value("nu"), 0.01,
+                       sim::AdversaryKind::kMaxDelay);
+  };
+  std::atomic<int> factory_calls{0};
+  const auto cells = run_sweep_with(
+      grid, build, {.violation_t = 5, .threads = 2},
+      [&](const sim::ExperimentConfig& config,
+          const sim::EngineConfig& engine_config) {
+        ++factory_calls;
+        EXPECT_GE(engine_config.seed, config.base_seed);
+        EXPECT_LT(engine_config.seed, config.base_seed + config.seeds);
+        return sim::default_adversary_factory(config.adversary)(engine_config);
+      });
+  EXPECT_EQ(factory_calls.load(), 3);
+  expect_identical(sim::run_experiment(cells[0].config, 5), cells[0].summary);
+}
+
+TEST(Orchestrator, WorkerExceptionPropagatesToCaller) {
+  SweepGrid grid;
+  grid.axis("nu", {0.1, 0.2});
+  const auto build = [](const GridPoint& point) {
+    return cell_config(point.value("nu"), 0.01,
+                       sim::AdversaryKind::kMaxDelay);
+  };
+  EXPECT_THROW(
+      (void)run_sweep_with(
+          grid, build, {.violation_t = 5, .threads = 4},
+          [](const sim::ExperimentConfig&, const sim::EngineConfig&)
+              -> std::unique_ptr<sim::Adversary> {
+            throw std::runtime_error("factory boom");
+          }),
+      std::runtime_error);
+}
+
+/// Parallel-reduction property: merging chunked accumulators matches one
+/// accumulator fed the same stream, for any split — count exactly,
+/// moments to floating-point accuracy.
+TEST(RunningStatsMerge, MatchesSingleAccumulatorOnAnySplit) {
+  std::mt19937_64 gen(20260727);
+  std::normal_distribution<double> normal(3.0, 2.5);
+  const std::size_t samples = 4096;
+  std::vector<double> stream(samples);
+  for (double& x : stream) x = normal(gen);
+
+  stats::RunningStats whole;
+  for (const double x : stream) whole.add(x);
+
+  for (const std::size_t chunks : {1u, 2u, 3u, 7u, 16u, 101u}) {
+    std::vector<stats::RunningStats> parts(chunks);
+    for (std::size_t i = 0; i < samples; ++i) {
+      parts[i % chunks].add(stream[i]);
+    }
+    stats::RunningStats merged;
+    for (const auto& part : parts) merged.merge(part);
+
+    EXPECT_EQ(merged.count(), whole.count());
+    EXPECT_NEAR(merged.mean(), whole.mean(), 1e-12 * std::fabs(whole.mean()));
+    EXPECT_NEAR(merged.variance(), whole.variance(),
+                1e-10 * whole.variance());
+    EXPECT_DOUBLE_EQ(merged.min(), whole.min());
+    EXPECT_DOUBLE_EQ(merged.max(), whole.max());
+  }
+}
+
+TEST(RunningStatsMerge, MergingEmptyIsIdentity) {
+  stats::RunningStats a;
+  a.add(1.0);
+  a.add(2.0);
+  const double mean = a.mean();
+  a.merge(stats::RunningStats{});
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), mean);
+
+  stats::RunningStats empty;
+  stats::RunningStats b;
+  b.add(5.0);
+  empty.merge(b);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(empty.min(), 5.0);
+  EXPECT_DOUBLE_EQ(empty.max(), 5.0);
+}
+
+}  // namespace
+}  // namespace neatbound::exp

@@ -1,6 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <stdexcept>
+
 #include "sim/runner.hpp"
+#include "sim/strategies.hpp"
 
 namespace neatbound::sim {
 namespace {
@@ -55,6 +59,55 @@ TEST(ParallelRunner, DefaultThreadCountWorks) {
   const auto config = small_experiment();
   const ExperimentSummary summary = run_experiment_parallel(config, 6);
   EXPECT_EQ(summary.honest_blocks.count(), config.seeds);
+}
+
+TEST(ParallelRunner, CustomFactoryBitIdenticalToSerial) {
+  const auto config = small_experiment();
+  const auto factory = [](const EngineConfig& engine_config) {
+    return std::make_unique<MaxDelayAdversary>(engine_config.delta);
+  };
+  const ExperimentSummary serial = run_experiment_with(config, 6, factory);
+  const ExperimentSummary parallel =
+      run_experiment_parallel_with(config, 6, factory, 4);
+  EXPECT_EQ(serial.honest_blocks.count(), parallel.honest_blocks.count());
+  EXPECT_DOUBLE_EQ(serial.honest_blocks.mean(), parallel.honest_blocks.mean());
+  EXPECT_DOUBLE_EQ(serial.chain_growth.variance(),
+                   parallel.chain_growth.variance());
+}
+
+// Regression: a throwing factory used to escape the worker thread and
+// std::terminate the process; now the first exception is captured, all
+// workers join, and it rethrows here.
+TEST(ParallelRunner, ThrowingFactoryRethrowsInCaller) {
+  const auto config = small_experiment();
+  EXPECT_THROW(
+      (void)run_experiment_parallel_with(
+          config, 6,
+          [](const EngineConfig&) -> std::unique_ptr<Adversary> {
+            throw std::runtime_error("adversary factory failure");
+          },
+          4),
+      std::runtime_error);
+}
+
+TEST(ParallelRunner, ThrowingFactoryMessageSurvives) {
+  ExperimentConfig config = small_experiment();
+  config.seeds = 6;
+  std::atomic<std::uint32_t> calls{0};
+  try {
+    (void)run_experiment_parallel_with(
+        config, 6,
+        [&](const EngineConfig&) -> std::unique_ptr<Adversary> {
+          if (calls.fetch_add(1) == 2) {
+            throw std::runtime_error("boom at seed 2");
+          }
+          return std::make_unique<NullAdversary>();
+        },
+        3);
+    FAIL() << "expected run_experiment_parallel_with to throw";
+  } catch (const std::runtime_error& error) {
+    EXPECT_STREQ(error.what(), "boom at seed 2");
+  }
 }
 
 }  // namespace

@@ -111,5 +111,47 @@ TEST(CliArgs, RejectsNonFlagToken) {
   EXPECT_THROW(CliArgs(2, argv), std::runtime_error);
 }
 
+// Regression: has() used to leave the flag unconsumed, so probing a flag
+// only via has() made reject_unconsumed() report it as unknown.
+TEST(CliArgs, HasCountsAsConsumption) {
+  const char* argv[] = {"prog", "--probe-only=1"};
+  CliArgs args(2, argv);
+  EXPECT_TRUE(args.has("probe-only"));
+  EXPECT_NO_THROW(args.reject_unconsumed());
+}
+
+// Regression: get_uint parsed through std::stoll, rejecting valid values
+// in (INT64_MAX, UINT64_MAX].
+TEST(CliArgs, GetUintAcceptsFullUnsignedRange) {
+  const char* argv[] = {"prog", "--big=18446744073709551615",
+                        "--above-int64=9223372036854775808"};
+  CliArgs args(3, argv);
+  EXPECT_EQ(args.get_uint("big", 0), 18446744073709551615ull);
+  EXPECT_EQ(args.get_uint("above-int64", 0), 9223372036854775808ull);
+  args.reject_unconsumed();
+}
+
+TEST(CliArgs, GetUintRejectsOverflowAndGarbage) {
+  const char* argv[] = {"prog", "--x=18446744073709551616", "--y=12abc"};
+  CliArgs args(3, argv);
+  EXPECT_THROW((void)args.get_uint("x", 0), std::runtime_error);
+  EXPECT_THROW((void)args.get_uint("y", 0), std::runtime_error);
+}
+
+TEST(CliArgs, GetUintRejectsNegativeBehindAnyWhitespace) {
+  // std::stoull skips all isspace characters, so the negative guard must
+  // too — "\v-2" used to wrap to 18446744073709551614.
+  const char* argv[] = {"prog", "--a=\v-2", "--b= \n-7"};
+  CliArgs args(3, argv);
+  EXPECT_THROW((void)args.get_uint("a", 0), std::runtime_error);
+  EXPECT_THROW((void)args.get_uint("b", 0), std::runtime_error);
+}
+
+TEST(CsvFormatRow, JoinsAndQuotes) {
+  EXPECT_EQ(csv_format_row({"a", "b"}), "a,b");
+  EXPECT_EQ(csv_format_row({"x,y", "q\"t"}), "\"x,y\",\"q\"\"t\"");
+  EXPECT_EQ(csv_format_row({}), "");
+}
+
 }  // namespace
 }  // namespace neatbound
