@@ -22,6 +22,7 @@ int main(int argc, char** argv) {
   const std::uint64_t rounds = args.get_uint("rounds", 8000);
   const auto seeds = static_cast<std::uint32_t>(args.get_uint("seeds", 5));
   const exp::BenchOptions io = exp::parse_bench_options(args);
+  if (args.handle_help(std::cout)) return 0;
   args.reject_unconsumed();
 
   std::cout << "# PSS attack region — balance attack vs the red line "

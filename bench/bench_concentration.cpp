@@ -20,6 +20,7 @@ int main(int argc, char** argv) {
   CliArgs args(argc, argv);
   const std::uint64_t rounds = args.get_uint("rounds", 200000);
   const auto seeds = static_cast<std::uint32_t>(args.get_uint("seeds", 40));
+  if (args.handle_help(std::cout)) return 0;
   args.reject_unconsumed();
 
   std::cout << "# Part 1 — eps-mixing time tau(1/8) of the suffix chain C_F\n"

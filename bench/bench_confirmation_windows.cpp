@@ -24,6 +24,7 @@ int main(int argc, char** argv) {
   const double n = args.get_double("n", 200);
   const double delta = args.get_double("delta", 4);
   const exp::BenchOptions io = exp::parse_bench_options(args);
+  if (args.handle_help(std::cout)) return 0;
   args.reject_unconsumed();
 
   std::cout << "# Confirmation windows (rounds) for failure targets, "

@@ -25,6 +25,7 @@ int main(int argc, char** argv) {
   const auto seeds = static_cast<std::uint32_t>(args.get_uint("seeds", 6));
   const std::uint64_t violation_t = args.get_uint("violation-t", 8);
   const exp::BenchOptions io = exp::parse_bench_options(args);
+  if (args.handle_help(std::cout)) return 0;
   args.reject_unconsumed();
 
   std::cout << "# Consistency sweep — violation depth vs c under "

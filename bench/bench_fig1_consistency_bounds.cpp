@@ -22,6 +22,7 @@ int main(int argc, char** argv) {
   const double delta = args.get_double("delta", 1e13);
   const auto points = static_cast<std::size_t>(args.get_uint("points", 25));
   const exp::BenchOptions io = exp::parse_bench_options(args);
+  if (args.handle_help(std::cout)) return 0;
   args.reject_unconsumed();
 
   std::cout << "# Figure 1 — nu_max vs c  (n=" << format_general(n)

@@ -25,6 +25,7 @@ int main(int argc, char** argv) {
   const std::uint64_t rounds = args.get_uint("rounds", 30000);
   const auto seeds = static_cast<std::uint32_t>(args.get_uint("seeds", 5));
   const exp::BenchOptions io = exp::parse_bench_options(args);
+  if (args.handle_help(std::cout)) return 0;
   args.reject_unconsumed();
 
   exp::BenchReporter report("bench_growth_quality", io);

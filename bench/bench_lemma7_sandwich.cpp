@@ -10,6 +10,7 @@
 int main(int argc, char** argv) {
   using namespace neatbound;
   CliArgs args(argc, argv);
+  if (args.handle_help(std::cout)) return 0;
   args.reject_unconsumed();
 
   std::cout << "# Lemma 7 — the sandwich that yields the neat bound\n";

@@ -30,6 +30,7 @@ int main(int argc, char** argv) {
   using namespace neatbound;
   CliArgs args(argc, argv);
   const exp::BenchOptions io = exp::parse_bench_options(args);
+  if (args.handle_help(std::cout)) return 0;
   args.reject_unconsumed();
 
   std::cout << "# Recurrence times — the renewal-analysis critique, "

@@ -14,6 +14,7 @@ int main(int argc, char** argv) {
   using namespace neatbound;
   CliArgs args(argc, argv);
   const double delta = args.get_double("delta", 1e13);
+  if (args.handle_help(std::cout)) return 0;
   args.reject_unconsumed();
 
   std::cout << "# Remark 1 — nu windows and c-threshold factors at delta="

@@ -13,6 +13,7 @@ int main(int argc, char** argv) {
   using namespace neatbound;
   CliArgs args(argc, argv);
   const std::uint64_t walk_steps = args.get_uint("walk-steps", 400000);
+  if (args.handle_help(std::cout)) return 0;
   args.reject_unconsumed();
 
   std::cout << "# Eq. (37) — stationary distribution of C_F: closed form vs "

@@ -11,6 +11,7 @@
 int main(int argc, char** argv) {
   using namespace neatbound;
   CliArgs args(argc, argv);
+  if (args.handle_help(std::cout)) return 0;
   args.reject_unconsumed();
 
   std::cout << "# Table I — derived per-round quantities at representative "

@@ -23,6 +23,7 @@ int main(int argc, char** argv) {
   CliArgs args(argc, argv);
   const double n = args.get_double("n", 1e5);
   const exp::BenchOptions io = exp::parse_bench_options(args);
+  if (args.handle_help(std::cout)) return 0;
   args.reject_unconsumed();
 
   std::cout << "# Tightness ablation — nu_max by bound, across delta "

@@ -1,0 +1,236 @@
+// neatbound_cli — the unified scenario driver.
+//
+//   neatbound_cli run <scenario.json> [--threads N] [--csv P] [--json P]
+//                  [--miners N] [--nu X] [--delta N] [--rounds N]
+//                  [--seeds N] [--base-seed N] [--violation-t N]
+//       loads a scenario file, builds the sweep grid and executes every
+//       (cell × seed) engine run on one work pool, reporting through the
+//       same stdout/CSV/JSON sink stack the benches use.  The override
+//       flags replace the spec's engine defaults (axes still win per
+//       point) — the CI smoke job uses them to downsize bundled specs.
+//
+//   neatbound_cli list [--scenarios DIR]
+//       prints every registered network model and adversary strategy
+//       (with accepted parameters), plus the *.json files in DIR when
+//       given.
+//
+//   neatbound_cli describe <scenario.json>
+//       parses and validates a scenario file and prints the resolved
+//       configuration: engine defaults, axes and grid size, hardness
+//       rule, components, report columns.
+#include <algorithm>
+#include <exception>
+#include <filesystem>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "exp/bench_io.hpp"
+#include "scenario/registry.hpp"
+#include "scenario/report.hpp"
+#include "scenario/runner.hpp"
+#include "scenario/spec.hpp"
+#include "support/cli.hpp"
+
+namespace {
+
+using namespace neatbound;
+
+int usage(std::ostream& os, int code) {
+  os << "usage: neatbound_cli <command> ...\n"
+        "\n"
+        "commands:\n"
+        "  run <scenario.json> [flags]   execute a scenario (--help for "
+        "flags)\n"
+        "  list [--scenarios DIR]        registered network models and "
+        "adversary strategies\n"
+        "  describe <scenario.json>      parsed + validated scenario "
+        "summary\n";
+  return code;
+}
+
+void print_entries(
+    const char* heading,
+    const std::vector<scenario::ScenarioRegistry::EntryInfo>& entries) {
+  std::cout << heading << "\n";
+  for (const auto& entry : entries) {
+    std::cout << "  " << entry.name << " — " << entry.summary << "\n";
+    for (const auto& param : entry.params) {
+      std::cout << "      param: " << param.key << " (" << param.describe
+                << ")\n";
+    }
+  }
+}
+
+int run_command(int argc, char** argv) {
+  // `run <path> [flags]`; `run --help` (no path) still prints the flags.
+  const bool has_path =
+      argc >= 3 && std::string(argv[2]).rfind("--", 0) != 0;
+  const std::string path = has_path ? argv[2] : "";
+  // The slot before the first flag acts as the "program name" CliArgs
+  // skips: the path when present, the subcommand itself otherwise.
+  CliArgs args(has_path ? argc - 2 : argc - 1,
+               has_path ? argv + 2 : argv + 1);
+
+  scenario::SpecOverrides overrides;
+  if (const auto v = args.get_opt_uint(
+          "miners", "override engine miner count (spec value otherwise)")) {
+    overrides.miners = static_cast<std::uint32_t>(*v);
+  }
+  overrides.nu = args.get_opt_double(
+      "nu", "override adversary fraction (spec value otherwise)");
+  overrides.delta = args.get_opt_uint(
+      "delta", "override max message delay (spec value otherwise)");
+  overrides.rounds = args.get_opt_uint(
+      "rounds", "override rounds per run (spec value otherwise)");
+  if (const auto v = args.get_opt_uint(
+          "seeds", "override seeds per cell (spec value otherwise)")) {
+    overrides.seeds = static_cast<std::uint32_t>(*v);
+  }
+  overrides.base_seed = args.get_opt_uint(
+      "base-seed", "override base seed (spec value otherwise)");
+  overrides.violation_t = args.get_opt_uint(
+      "violation-t", "override consistency depth T (spec value otherwise)");
+  const exp::BenchOptions io = exp::parse_bench_options(args);
+  if (args.handle_help(std::cout)) return 0;
+  if (!has_path) {
+    std::cerr << "neatbound_cli run: expected a scenario file path\n";
+    return usage(std::cerr, 2);
+  }
+  args.reject_unconsumed();
+
+  scenario::ScenarioSpec spec = scenario::load_scenario_file(path);
+  scenario::apply_overrides(spec, overrides);
+
+  std::cout << "# scenario: " << spec.name;
+  if (!spec.title.empty()) std::cout << " — " << spec.title;
+  std::cout << "\n# adversary: " << spec.adversary.kind
+            << ", network: " << spec.network.kind << ", grid "
+            << spec.grid_size() << " cells x " << spec.seeds << " seeds\n";
+
+  exp::BenchReporter report(spec.name, io);
+  scenario::stamp_meta(spec, report);
+  const std::vector<exp::SweepCell> cells = scenario::run_scenario(
+      spec, scenario::ScenarioRegistry::builtin(), {.threads = io.threads});
+  scenario::render_report(spec, cells, report);
+  report.finish();
+  return 0;
+}
+
+int list_command(int argc, char** argv) {
+  CliArgs args(argc - 1, argv + 1);
+  const std::string dir = args.get_string(
+      "scenarios", "", "directory whose *.json specs to list");
+  if (args.handle_help(std::cout)) return 0;
+  args.reject_unconsumed();
+
+  const auto& registry = scenario::ScenarioRegistry::builtin();
+  print_entries("network models:", registry.network_models());
+  std::cout << "\n";
+  print_entries("adversary strategies:", registry.adversary_strategies());
+
+  if (!dir.empty()) {
+    std::cout << "\nscenarios in " << dir << ":\n";
+    std::vector<std::string> paths;
+    for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+      if (entry.path().extension() == ".json") {
+        paths.push_back(entry.path().string());
+      }
+    }
+    std::sort(paths.begin(), paths.end());
+    for (const std::string& spec_path : paths) {
+      try {
+        const scenario::ScenarioSpec spec =
+            scenario::load_scenario_file(spec_path);
+        std::cout << "  " << spec_path << " — " << spec.name << " ("
+                  << spec.grid_size() << " cells, adversary "
+                  << spec.adversary.kind << ", network " << spec.network.kind
+                  << ")\n";
+      } catch (const std::exception& e) {
+        std::cout << "  " << spec_path << " — INVALID: " << e.what() << "\n";
+      }
+    }
+  }
+  return 0;
+}
+
+int describe_command(int argc, char** argv) {
+  if (argc >= 3 && std::string(argv[2]) == "--help") {
+    std::cout << "usage: neatbound_cli describe <scenario.json>\n";
+    return 0;
+  }
+  if (argc < 3 || std::string(argv[2]).rfind("--", 0) == 0) {
+    std::cerr << "neatbound_cli describe: expected a scenario file path\n";
+    return usage(std::cerr, 2);
+  }
+  const std::string path = argv[2];
+  CliArgs args(argc - 2, argv + 2);
+  if (args.handle_help(std::cout)) return 0;
+  args.reject_unconsumed();
+
+  const scenario::ScenarioSpec spec = scenario::load_scenario_file(path);
+  // Resolve the first grid point so component/param errors surface here.
+  const exp::SweepGrid grid = scenario::build_grid(spec);
+  const sim::ExperimentConfig first =
+      scenario::build_config(spec, grid.point(0));
+  scenario::validate_components(spec, scenario::ScenarioRegistry::builtin());
+
+  std::cout << "scenario:    " << spec.name << "\n";
+  if (!spec.title.empty()) std::cout << "title:       " << spec.title << "\n";
+  if (!spec.description.empty()) {
+    std::cout << "description: " << spec.description << "\n";
+  }
+  std::cout << "engine:      miners=" << spec.miners << " nu=" << spec.nu
+            << " delta=" << spec.delta << " rounds=" << spec.rounds
+            << " p=" << spec.p << "\n";
+  std::cout << "hardness:    " << spec.hardness_mode << "\n";
+  std::cout << "experiment:  seeds=" << spec.seeds
+            << " base_seed=" << spec.base_seed
+            << " violation_t=" << spec.violation_t << "\n";
+  std::cout << "adversary:   " << spec.adversary.kind << "\n";
+  std::cout << "network:     " << spec.network.kind << "\n";
+  std::cout << "axes:        " << spec.axes.size() << " (grid "
+            << spec.grid_size() << " cells, " << spec.grid_size() * spec.seeds
+            << " engine runs)\n";
+  for (const scenario::AxisSpec& axis : spec.axes) {
+    std::cout << "  " << axis.name << ": [";
+    for (std::size_t i = 0; i < axis.values.size(); ++i) {
+      std::cout << (i > 0 ? ", " : "") << axis.values[i];
+    }
+    std::cout << "]\n";
+  }
+  std::cout << "first point: p=" << first.engine.p << "\n";
+  const std::vector<scenario::ColumnSpec> columns =
+      spec.report.columns.empty() ? scenario::default_columns(spec)
+                                  : spec.report.columns;
+  std::cout << "report:      " << columns.size() << " columns";
+  if (!spec.report.section_by.empty()) {
+    std::cout << ", sectioned by " << spec.report.section_by;
+  }
+  std::cout << "\n";
+  for (const scenario::ColumnSpec& column : columns) {
+    std::cout << "  " << column.header << " <- " << column.value << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    if (argc < 2) return usage(std::cerr, 2);
+    const std::string command = argv[1];
+    if (command == "run") return run_command(argc, argv);
+    if (command == "list") return list_command(argc, argv);
+    if (command == "describe") return describe_command(argc, argv);
+    if (command == "--help" || command == "help") {
+      return usage(std::cout, 0);
+    }
+    std::cerr << "neatbound_cli: unknown command '" << command << "'\n";
+    return usage(std::cerr, 2);
+  } catch (const std::exception& e) {
+    std::cerr << "neatbound_cli: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,50 @@
+# CTest script: `neatbound_cli run` on the bundled consistency-sweep
+# scenario must produce a JSON summary bit-identical to the hand-written
+# bench_consistency_sweep — same sections, rows, and meta.  Both sides run
+# downsized (the full spec is a multi-minute sweep) with --threads 1; the
+# only tolerated difference is the elapsed_seconds meta value, which is
+# wall-clock by nature and normalized away before comparison.
+#
+# Inputs: -DBENCH_EXE, -DCLI_EXE, -DSPEC, -DWORK_DIR.
+foreach(var BENCH_EXE CLI_EXE SPEC WORK_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "scenario_parity.cmake: ${var} not set")
+  endif()
+endforeach()
+
+file(MAKE_DIRECTORY ${WORK_DIR})
+set(DOWNSIZE --miners 16 --delta 2 --rounds 600 --seeds 2 --threads 1)
+
+execute_process(
+  COMMAND ${BENCH_EXE} ${DOWNSIZE} --json ${WORK_DIR}/bench.json
+  RESULT_VARIABLE bench_status
+  OUTPUT_VARIABLE bench_stdout
+  ERROR_VARIABLE bench_stderr)
+if(NOT bench_status EQUAL 0)
+  message(FATAL_ERROR "bench_consistency_sweep failed (${bench_status}):\n"
+    "${bench_stdout}\n${bench_stderr}")
+endif()
+
+execute_process(
+  COMMAND ${CLI_EXE} run ${SPEC} ${DOWNSIZE} --json ${WORK_DIR}/cli.json
+  RESULT_VARIABLE cli_status
+  OUTPUT_VARIABLE cli_stdout
+  ERROR_VARIABLE cli_stderr)
+if(NOT cli_status EQUAL 0)
+  message(FATAL_ERROR "neatbound_cli run failed (${cli_status}):\n"
+    "${cli_stdout}\n${cli_stderr}")
+endif()
+
+file(READ ${WORK_DIR}/bench.json bench_doc)
+file(READ ${WORK_DIR}/cli.json cli_doc)
+foreach(doc bench_doc cli_doc)
+  string(REGEX REPLACE "\"elapsed_seconds\": [0-9.eE+-]+"
+    "\"elapsed_seconds\": <normalized>" ${doc} "${${doc}}")
+endforeach()
+
+if(NOT bench_doc STREQUAL cli_doc)
+  message(FATAL_ERROR "scenario/CLI JSON summaries differ.\n"
+    "bench: ${WORK_DIR}/bench.json\ncli:   ${WORK_DIR}/cli.json")
+endif()
+message(STATUS "scenario parity OK: summaries bit-identical "
+  "(elapsed_seconds normalized)")

@@ -20,6 +20,7 @@ int main(int argc, char** argv) {
   const double c = args.get_double("c", 2.0);
   const std::uint64_t rounds = args.get_uint("rounds", 20000);
   const auto seeds = static_cast<std::uint32_t>(args.get_uint("seeds", 4));
+  if (args.handle_help(std::cout)) return 0;
   args.reject_unconsumed();
 
   std::cout << "Attack explorer: n=" << miners << " nu=" << nu

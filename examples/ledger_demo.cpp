@@ -60,6 +60,7 @@ int main(int argc, char** argv) {
   const double c = args.get_double("c", 4.0);
   const std::uint64_t rounds = args.get_uint("rounds", 15000);
   const std::uint64_t seed = args.get_uint("seed", 7);
+  if (args.handle_help(std::cout)) return 0;
   args.reject_unconsumed();
 
   std::cout << "Ledger consistency demo: n=" << miners << " delta=" << delta

@@ -22,6 +22,7 @@ int main(int argc, char** argv) {
   const double delta = args.get_double("delta", 1e13);
   const double nu = args.get_double("nu", 0.25);
   const double c = args.get_double("c", 2.0);
+  if (args.handle_help(std::cout)) return 0;
   args.reject_unconsumed();
 
   const auto params = bounds::ProtocolParams::from_c(n, delta, nu, c);

@@ -1,0 +1,84 @@
+// Scenario subsystem demo: defines a small declarative scenario inline
+// (the same JSON you would put in a scenarios/*.json file), runs it
+// through the registry + sweep orchestrator, and prints the report.
+//
+// The scenario pits the delay-saturating withholder against a bursty
+// network, sweeping the adversary fraction ν; compare the same strategy
+// on its native always-Δ network by flipping the model to "strategy".
+//
+//   ./scenario_demo --rounds 2000 --seeds 3 --threads 2
+#include <iostream>
+
+#include "exp/sinks.hpp"
+#include "scenario/registry.hpp"
+#include "scenario/report.hpp"
+#include "scenario/runner.hpp"
+#include "scenario/spec.hpp"
+#include "support/cli.hpp"
+
+namespace {
+
+constexpr const char* kDemoScenario = R"({
+  "name": "scenario_demo",
+  "title": "delay-saturating withholder on a bursty network",
+  "engine": {"miners": 24, "delta": 3, "rounds": 4000},
+  "axes": [
+    {"name": "nu", "values": [0.1, 0.2, 0.3, 0.4]}
+  ],
+  "hardness": {"mode": "neat-bound-multiple", "multiple": 1.5},
+  "seeds": 3,
+  "violation_t": 8,
+  "adversary": {"strategy": "delay-saturate"},
+  "network": {"model": "bursty", "period": 8, "burst_length": 4},
+  "report": {
+    "columns": [
+      {"header": "nu", "value": "nu", "decimals": 2},
+      {"header": "c", "value": "c", "decimals": 3},
+      {"header": "mean violation depth", "value": "violation_depth.mean",
+       "decimals": 1},
+      {"header": "max reorg", "value": "max_reorg_depth.max", "decimals": 0},
+      {"header": "chain quality", "value": "chain_quality.mean",
+       "decimals": 3}
+    ]
+  }
+})";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace neatbound;
+  CliArgs args(argc, argv);
+  const std::uint64_t rounds =
+      args.get_uint("rounds", 0, "override rounds per run (0 = spec value)");
+  const std::uint64_t seeds =
+      args.get_uint("seeds", 0, "override seeds per cell (0 = spec value)");
+  const auto threads = static_cast<unsigned>(
+      args.get_uint("threads", 0, "sweep workers (0 = hardware)"));
+  if (args.handle_help(std::cout)) return 0;
+  args.reject_unconsumed();
+
+  scenario::ScenarioSpec spec = scenario::parse_scenario(kDemoScenario);
+  scenario::SpecOverrides overrides;
+  if (rounds > 0) overrides.rounds = rounds;
+  if (seeds > 0) overrides.seeds = static_cast<std::uint32_t>(seeds);
+  scenario::apply_overrides(spec, overrides);
+
+  std::cout << "# " << spec.name << " — " << spec.title << "\n"
+            << "# adversary: " << spec.adversary.kind
+            << ", network: " << spec.network.kind << ", "
+            << spec.grid_size() << " cells x " << spec.seeds << " seeds, T="
+            << spec.rounds << "\n";
+
+  const auto cells = scenario::run_scenario(
+      spec, scenario::ScenarioRegistry::builtin(), {.threads = threads});
+  exp::TableSink table(std::cout);
+  scenario::render_report(spec, cells, table);
+  table.finish();
+
+  std::cout << "\nreading: the bursty network hands the withholder free "
+               "partition windows, so violation depth climbs with nu well "
+               "before the always-Delta regime would let it; swap the "
+               "network model for \"strategy\" to recover the classic "
+               "bench behaviour.\n";
+  return 0;
+}

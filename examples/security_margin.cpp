@@ -26,6 +26,7 @@ int main(int argc, char** argv) {
   const double nu = args.get_double("nu", 0.25);
   const double c = args.get_double("c", 4.0);
   const double target = args.get_double("target", 1e-9);
+  if (args.handle_help(std::cout)) return 0;
   args.reject_unconsumed();
 
   const auto params = bounds::ProtocolParams::from_c(n, delta, nu, c);

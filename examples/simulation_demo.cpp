@@ -27,6 +27,7 @@ int main(int argc, char** argv) {
   const double c = args.get_double("c", 4.0);
   const std::uint64_t rounds = args.get_uint("rounds", 20000);
   const std::uint64_t seed = args.get_uint("seed", 2024);
+  if (args.handle_help(std::cout)) return 0;
   args.reject_unconsumed();
 
   sim::EngineConfig config;

@@ -1,0 +1,73 @@
+// Executes a parsed scenario through the experiment orchestrator.
+//
+// The pipeline is exactly a hand-written bench's: the spec's axes become
+// an exp::SweepGrid, each grid point is materialized into an
+// sim::ExperimentConfig (axis overrides + hardness rule), every
+// (cell × seed) engine run goes through exp::run_sweep_with on one shared
+// work pool, and the cells render into any exp::ResultSink.  Because the
+// grid enumeration, config arithmetic, adversary construction and
+// aggregation all reuse the bench code paths, a scenario that mirrors a
+// bench produces bit-identical summaries.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "exp/orchestrator.hpp"
+#include "scenario/registry.hpp"
+#include "scenario/spec.hpp"
+
+namespace neatbound::exp {
+class BenchReporter;
+}  // namespace neatbound::exp
+
+namespace neatbound::scenario {
+
+/// Command-line overrides applied on top of a scenario file (downsizing a
+/// spec for CI smoke runs, sweeping a different seed count, …).  An
+/// override replaces the spec's engine default; axes still win per point.
+struct SpecOverrides {
+  std::optional<std::uint32_t> miners;
+  std::optional<double> nu;
+  std::optional<std::uint64_t> delta;
+  std::optional<std::uint64_t> rounds;
+  std::optional<std::uint32_t> seeds;
+  std::optional<std::uint64_t> base_seed;
+  std::optional<std::uint64_t> violation_t;
+};
+
+void apply_overrides(ScenarioSpec& spec, const SpecOverrides& overrides);
+
+/// The spec's axes as a SweepGrid (row-major, last axis fastest).
+[[nodiscard]] exp::SweepGrid build_grid(const ScenarioSpec& spec);
+
+/// One grid point's experiment config: engine defaults, axis overrides,
+/// then the hardness rule for p.  Throws (via validate_engine_config) on
+/// unusable parameter combinations.
+[[nodiscard]] sim::ExperimentConfig build_config(const ScenarioSpec& spec,
+                                                 const exp::GridPoint& point);
+
+struct ScenarioRunOptions {
+  unsigned threads = 0;  ///< sweep pool workers; 0 = hardware concurrency
+};
+
+/// Fail-fast validation shared by run/describe: resolves the first grid
+/// point's engine config and builds (and discards) one adversary, so
+/// unknown components, bad parameters and unusable engine values all
+/// throw before any engine run spawns.
+void validate_components(const ScenarioSpec& spec,
+                         const ScenarioRegistry& registry);
+
+/// Runs the whole grid.  Component names/params are validated against the
+/// registry up front (before any engine spawns), then every (cell × seed)
+/// job builds its adversary through the registry.
+[[nodiscard]] std::vector<exp::SweepCell> run_scenario(
+    const ScenarioSpec& spec, const ScenarioRegistry& registry,
+    const ScenarioRunOptions& options);
+
+/// Stamps the standard meta numbers (miners, delta, rounds, seeds — the
+/// keys the engine benches stamp) plus the spec's extra meta entries.
+void stamp_meta(const ScenarioSpec& spec, exp::BenchReporter& reporter);
+
+}  // namespace neatbound::scenario

@@ -16,6 +16,24 @@ std::uint32_t corrupted_count(const EngineConfig& config) {
 }
 }  // namespace
 
+std::uint32_t honest_miner_count(const EngineConfig& config) {
+  return config.miner_count - corrupted_count(config);
+}
+
+void validate_engine_config(const EngineConfig& config) {
+  NEATBOUND_EXPECTS(config.miner_count >= 4,
+                    "the paper's condition (3): n >= 4");
+  NEATBOUND_EXPECTS(config.adversary_fraction >= 0.0 &&
+                        config.adversary_fraction < 0.5,
+                    "adversary fraction nu must be in [0, 1/2)");
+  NEATBOUND_EXPECTS(config.p > 0.0 && config.p < 1.0,
+                    "mining hardness p must be in (0, 1)");
+  NEATBOUND_EXPECTS(config.delta >= 1, "delta must be >= 1");
+  NEATBOUND_EXPECTS(config.rounds >= 1, "rounds must be >= 1");
+  NEATBOUND_EXPECTS(config.miner_count > corrupted_count(config),
+                    "at least one honest miner needed");
+}
+
 /// AdversaryOps backed by the engine.  Lives only during act().
 class ExecutionEngine::Ops final : public AdversaryOps {
  public:
@@ -91,7 +109,7 @@ ExecutionEngine::ExecutionEngine(EngineConfig config,
                                  std::unique_ptr<Adversary> adversary,
                                  std::unique_ptr<Environment> environment)
     : config_(config),
-      honest_count_(config.miner_count - corrupted_count(config)),
+      honest_count_(honest_miner_count(config)),
       adversary_queries_(corrupted_count(config)),
       oracle_(mix64(config.seed ^ 0x5bd1e995u)),
       target_(protocol::PowTarget::from_probability(config.p)),
@@ -99,15 +117,8 @@ ExecutionEngine::ExecutionEngine(EngineConfig config,
       adversary_(std::move(adversary)),
       environment_(std::move(environment)),
       rng_(mix64(config.seed)) {
-  NEATBOUND_EXPECTS(config.miner_count >= 4,
-                    "the paper's condition (3): n >= 4");
-  NEATBOUND_EXPECTS(config.adversary_fraction >= 0.0 &&
-                        config.adversary_fraction < 0.5,
-                    "adversary fraction must be in [0, 1/2)");
-  NEATBOUND_EXPECTS(config.delta >= 1, "delta must be >= 1");
-  NEATBOUND_EXPECTS(config.rounds >= 1, "rounds must be >= 1");
+  validate_engine_config(config);
   NEATBOUND_EXPECTS(adversary_ != nullptr, "an adversary is required");
-  NEATBOUND_EXPECTS(honest_count_ >= 1, "at least one honest miner needed");
   views_.resize(honest_count_);
   tips_scratch_.resize(honest_count_, protocol::kGenesisIndex);
 }

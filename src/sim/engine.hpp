@@ -43,6 +43,19 @@ struct EngineConfig {
   std::uint64_t seed = 1;              ///< master seed (oracle + mining)
 };
 
+/// Honest miner count the engine derives from a config: n minus
+/// round(νn).  Partition/victim-table builders must size against exactly
+/// this value, so it is exported rather than re-derived per call site.
+[[nodiscard]] std::uint32_t honest_miner_count(const EngineConfig& config);
+
+/// Rejects unusable parameter combinations with a ContractViolation whose
+/// message names the offending field: n < 4 (the paper's condition (3)),
+/// ν ∉ [0, 1/2) (which covers ν ≥ 1), p ∉ (0, 1), Δ = 0, T = 0, or a
+/// corrupted count that leaves no honest miner.  Called by the engine
+/// constructor; exposed so config-producing layers (CLI, scenario files)
+/// can fail fast before spawning runs.
+void validate_engine_config(const EngineConfig& config);
+
 struct RunResult {
   std::vector<std::uint32_t> honest_counts;  ///< blocks honest miners mined, per round
   std::uint64_t honest_blocks_total = 0;

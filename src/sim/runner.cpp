@@ -1,6 +1,5 @@
 #include "sim/runner.hpp"
 
-#include <cmath>
 #include <vector>
 
 #include "support/parallel.hpp"
@@ -28,10 +27,7 @@ void accumulate_run(ExperimentSummary& summary, const RunResult& result,
 
 std::unique_ptr<Adversary> make_default_adversary(
     AdversaryKind kind, const EngineConfig& engine_config) {
-  const auto corrupted = static_cast<std::uint32_t>(
-      std::llround(engine_config.adversary_fraction *
-                   static_cast<double>(engine_config.miner_count)));
-  return make_adversary(kind, engine_config.miner_count - corrupted,
+  return make_adversary(kind, honest_miner_count(engine_config),
                         engine_config.delta);
 }
 

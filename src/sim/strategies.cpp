@@ -82,17 +82,65 @@ void PrivateWithholdAdversary::act(AdversaryOps& ops) {
 }
 
 // ---------------------------------------------------------------------------
+// HonestPartition
+// ---------------------------------------------------------------------------
+
+HonestPartition::HonestPartition(std::uint32_t honest_count)
+    : honest_count_(honest_count), split_(honest_count / 2) {
+  NEATBOUND_EXPECTS(honest_count >= 2,
+                    "a chain split needs at least two honest miners");
+}
+
+protocol::BlockIndex HonestPartition::group_tip(const AdversaryOps& ops,
+                                                std::uint8_t group) const {
+  const auto tips = ops.honest_tips();
+  const protocol::BlockStore& store = ops.store();
+  protocol::BlockIndex best = protocol::kGenesisIndex;
+  for (std::uint32_t m = 0; m < tips.size(); ++m) {
+    if (group_of(m) != group) continue;
+    if (store.height_of(tips[m]) > store.height_of(best)) best = tips[m];
+  }
+  return best;
+}
+
+void HonestPartition::publish_to_group(AdversaryOps& ops,
+                                       protocol::BlockIndex block,
+                                       std::uint8_t group) const {
+  for (std::uint32_t m = 0; m < honest_count_; ++m) {
+    if (group_of(m) == group) ops.publish_to(m, block, 1);
+  }
+}
+
+void HonestPartition::sync_branches(const AdversaryOps& ops,
+                                    protocol::BlockIndex branch[2],
+                                    std::uint64_t reset_margin) const {
+  const protocol::BlockStore& store = ops.store();
+  for (const std::uint8_t g : {std::uint8_t{0}, std::uint8_t{1}}) {
+    const protocol::BlockIndex gt = group_tip(ops, g);
+    // Honest miners of side g extended our branch: follow them.  A branch
+    // hopelessly behind what the group actually mines on (they deserted)
+    // is re-anchored on their chain.
+    if (store.is_ancestor(branch[g], gt) ||
+        store.height_of(gt) > store.height_of(branch[g]) + reset_margin) {
+      branch[g] = gt;
+    }
+  }
+  // Collapse detection: both tips on one chain → remember the deeper one
+  // and mark collapsed (equal tips).
+  if (store.is_ancestor(branch[0], branch[1])) {
+    branch[0] = branch[1];
+  } else if (store.is_ancestor(branch[1], branch[0])) {
+    branch[1] = branch[0];
+  }
+}
+
+// ---------------------------------------------------------------------------
 // BalanceAttackAdversary
 // ---------------------------------------------------------------------------
 
 BalanceAttackAdversary::BalanceAttackAdversary(std::uint32_t honest_count,
                                                std::uint64_t delta)
-    : honest_count_(honest_count),
-      split_(honest_count / 2),
-      delta_(delta) {
-  NEATBOUND_EXPECTS(honest_count >= 2,
-                    "balance attack needs at least two honest miners");
-}
+    : partition_(honest_count), delta_(delta) {}
 
 std::uint64_t BalanceAttackAdversary::honest_delay(std::uint64_t,
                                                    std::uint32_t,
@@ -105,47 +153,10 @@ std::uint64_t BalanceAttackAdversary::honest_delay(std::uint64_t,
   return delta_;
 }
 
-protocol::BlockIndex BalanceAttackAdversary::group_tip(
-    const AdversaryOps& ops, std::uint8_t group) const {
-  const auto tips = ops.honest_tips();
+void BalanceAttackAdversary::sync_state(const AdversaryOps& ops) {
   const protocol::BlockStore& store = ops.store();
-  protocol::BlockIndex best = protocol::kGenesisIndex;
-  for (std::uint32_t m = 0; m < tips.size(); ++m) {
-    if (group_of(m) != group) continue;
-    if (store.height_of(tips[m]) > store.height_of(best)) best = tips[m];
-  }
-  return best;
-}
-
-void BalanceAttackAdversary::publish_to_group(AdversaryOps& ops,
-                                              protocol::BlockIndex block,
-                                              std::uint8_t group) const {
-  for (std::uint32_t m = 0; m < honest_count_; ++m) {
-    if (group_of(m) == group) ops.publish_to(m, block, 1);
-  }
-}
-
-void BalanceAttackAdversary::sync_branches(const AdversaryOps& ops) {
-  const protocol::BlockStore& store = ops.store();
-  for (const std::uint8_t g : {std::uint8_t{0}, std::uint8_t{1}}) {
-    const protocol::BlockIndex gt = group_tip(ops, g);
-    // Honest miners of side g extended our branch: follow them.
-    if (store.is_ancestor(branch_[g], gt)) {
-      branch_[g] = gt;
-    } else if (store.height_of(gt) >
-               store.height_of(branch_[g]) + reset_margin_) {
-      // Our branch is hopelessly behind what the group actually mines on
-      // (they deserted): re-anchor on their chain.
-      branch_[g] = gt;
-    }
-  }
-  // Collapse detection: both tips on one chain → remember the deeper one
-  // and mark collapsed (equal tips); split-repair will fork it.
-  if (store.is_ancestor(branch_[0], branch_[1])) {
-    branch_[0] = branch_[1];
-  } else if (store.is_ancestor(branch_[1], branch_[0])) {
-    branch_[1] = branch_[0];
-  }
+  // After a collapse the split-repair fork below will re-split the chain.
+  partition_.sync_branches(ops, branch_, reset_margin_);
   // A repair fork that fell behind the main chain is dead weight.
   if (!repair_.empty() &&
       store.height_of(repair_.back()) + reset_margin_ <
@@ -156,7 +167,7 @@ void BalanceAttackAdversary::sync_branches(const AdversaryOps& ops) {
 
 void BalanceAttackAdversary::act(AdversaryOps& ops) {
   const protocol::BlockStore& store = ops.store();
-  sync_branches(ops);
+  sync_state(ops);
 
   while (ops.remaining_queries() > 0) {
     if (branch_[0] == branch_[1]) {
@@ -173,7 +184,7 @@ void BalanceAttackAdversary::act(AdversaryOps& ops) {
       if (!repair_.empty() &&
           store.height_of(repair_.back()) > store.height_of(branch_[0])) {
         for (const protocol::BlockIndex block : repair_) {
-          publish_to_group(ops, block, 1);
+          partition_.publish_to_group(ops, block, 1);
         }
         branch_[1] = repair_.back();
         repair_.clear();
@@ -185,7 +196,7 @@ void BalanceAttackAdversary::act(AdversaryOps& ops) {
       const std::uint64_t h1 = store.height_of(branch_[1]);
       const std::uint8_t lagging = h0 <= h1 ? 0 : 1;
       if (const auto mined = ops.try_mine_on(branch_[lagging])) {
-        publish_to_group(ops, *mined, lagging);
+        partition_.publish_to_group(ops, *mined, lagging);
         branch_[lagging] = *mined;
       }
     }
@@ -272,6 +283,118 @@ void SelfishMiningAdversary::act(AdversaryOps& ops) {
 }
 
 // ---------------------------------------------------------------------------
+// ForkBalancerAdversary
+// ---------------------------------------------------------------------------
+
+ForkBalancerAdversary::ForkBalancerAdversary(std::uint32_t honest_count,
+                                             std::uint64_t delta)
+    : partition_(honest_count), delta_(delta) {}
+
+std::uint64_t ForkBalancerAdversary::honest_delay(std::uint64_t,
+                                                  std::uint32_t sender,
+                                                  std::uint32_t recipient,
+                                                  protocol::BlockIndex) {
+  // Keep the halves Δ apart but let each half hear itself fast — the
+  // equivocating siblings only split the network if each side adopts its
+  // own child before the other side's propagates.
+  if (sender >= partition_.honest_count() ||
+      recipient >= partition_.honest_count()) {
+    return delta_;
+  }
+  return partition_.group_of(sender) == partition_.group_of(recipient)
+             ? 1
+             : delta_;
+}
+
+void ForkBalancerAdversary::act(AdversaryOps& ops) {
+  const protocol::BlockStore& store = ops.store();
+  partition_.sync_branches(ops, branch_, reset_margin_);
+
+  while (ops.remaining_queries() > 0) {
+    if (branch_[0] == branch_[1]) {
+      // Collapsed: build an equivocating sibling pair on the common tip.
+      // The first child is withheld; once the second lands, each half
+      // receives one sibling and adopts it (both extend the tip, so the
+      // longest-chain rule switches immediately).
+      const protocol::BlockIndex parent = branch_[0];
+      if (pending_valid_ && pending_parent_ != parent) {
+        // The chain moved under a half-built pair; the orphan child can
+        // never split at the front any more.
+        pending_valid_ = false;
+      }
+      if (const auto mined = ops.try_mine_on(parent)) {
+        if (!pending_valid_) {
+          pending_child_ = *mined;
+          pending_parent_ = parent;
+          pending_valid_ = true;
+        } else {
+          partition_.publish_to_group(ops, pending_child_, 0);
+          partition_.publish_to_group(ops, *mined, 1);
+          branch_[0] = pending_child_;
+          branch_[1] = *mined;
+          pending_valid_ = false;
+          ++equivocations_;
+        }
+      }
+    } else {
+      // Healthy split: donate to whichever branch lags so neither side
+      // ever has a strictly-longer chain to defect to.
+      const std::uint64_t h0 = store.height_of(branch_[0]);
+      const std::uint64_t h1 = store.height_of(branch_[1]);
+      const std::uint8_t lagging = h0 <= h1 ? 0 : 1;
+      if (const auto mined = ops.try_mine_on(branch_[lagging])) {
+        partition_.publish_to_group(ops, *mined, lagging);
+        branch_[lagging] = *mined;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// DelaySaturatingWithholder
+// ---------------------------------------------------------------------------
+
+DelaySaturatingWithholder::DelaySaturatingWithholder()
+    : DelaySaturatingWithholder(Options{}) {}
+
+DelaySaturatingWithholder::DelaySaturatingWithholder(Options options)
+    : options_(options) {
+  NEATBOUND_EXPECTS(options.rebase_margin >= 1,
+                    "rebase margin must be >= 1");
+}
+
+void DelaySaturatingWithholder::act(AdversaryOps& ops) {
+  const protocol::BlockStore& store = ops.store();
+  const protocol::BlockIndex best = ops.best_honest_tip();
+  const std::uint64_t best_height = store.height_of(best);
+
+  // Stubborn, but not suicidal: only rebase once hopelessly behind.
+  if (best_height >
+      store.height_of(private_tip_) + options_.rebase_margin) {
+    private_tip_ = best;
+    withheld_.clear();
+  }
+
+  while (ops.remaining_queries() > 0) {
+    if (const auto mined = ops.try_mine_on(private_tip_)) {
+      private_tip_ = *mined;
+      withheld_.push_back(*mined);
+    }
+  }
+
+  // Overtake with the minimal prefix: publish withheld blocks up to height
+  // best + 1 and bank the rest as an unrevealed lead.
+  if (store.height_of(private_tip_) > best_height) {
+    while (!withheld_.empty() &&
+           store.height_of(withheld_.front()) <= best_height + 1) {
+      ops.publish_to_all(withheld_.front(), 1);
+      withheld_.pop_front();
+      ++released_;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Factory
 // ---------------------------------------------------------------------------
 
@@ -287,6 +410,10 @@ const char* adversary_kind_name(AdversaryKind kind) {
       return "balance-attack";
     case AdversaryKind::kSelfishMining:
       return "selfish-mining";
+    case AdversaryKind::kForkBalancer:
+      return "fork-balancer";
+    case AdversaryKind::kDelaySaturate:
+      return "delay-saturate";
   }
   return "?";
 }
@@ -305,6 +432,10 @@ std::unique_ptr<Adversary> make_adversary(AdversaryKind kind,
       return std::make_unique<BalanceAttackAdversary>(honest_count, delta);
     case AdversaryKind::kSelfishMining:
       return std::make_unique<SelfishMiningAdversary>();
+    case AdversaryKind::kForkBalancer:
+      return std::make_unique<ForkBalancerAdversary>(honest_count, delta);
+    case AdversaryKind::kDelaySaturate:
+      return std::make_unique<DelaySaturatingWithholder>();
   }
   NEATBOUND_ENSURES(false, "unknown adversary kind");
   return nullptr;

@@ -21,9 +21,21 @@
 // * SelfishMiningAdversary — Eyal–Sirer selfish mining (chain-quality
 //                          attack): maintains a private lead, releases
 //                          competing blocks on honest discoveries.
+// * ForkBalancerAdversary — equivocating fork balancer: splits the honest
+//                          miners with a *sibling pair* (two children of
+//                          one parent fed to opposite halves), then keeps
+//                          the two branches level by donating blocks to
+//                          the lagging side; cross-partition honest
+//                          traffic is delayed the full Δ.
+// * DelaySaturatingWithholder — saturates every honest delay at Δ and
+//                          mines a stubborn private fork, releasing only
+//                          the minimal prefix needed to overtake the
+//                          public chain while banking the rest as a
+//                          persistent lead.
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <vector>
 
@@ -89,6 +101,39 @@ class PrivateWithholdAdversary final : public Adversary {
   bool initialized_ = false;
 };
 
+/// Fixed two-halves partition of the honest miners, with the branch
+/// bookkeeping the chain-splitting adversaries (balance attack, fork
+/// balancer) share: miners [0, n/2) are group 0, the rest group 1.
+class HonestPartition {
+ public:
+  /// EXPECTS at least two honest miners (both sides non-empty).
+  explicit HonestPartition(std::uint32_t honest_count);
+
+  [[nodiscard]] std::uint32_t honest_count() const noexcept {
+    return honest_count_;
+  }
+  [[nodiscard]] std::uint8_t group_of(std::uint32_t miner) const noexcept {
+    return miner < split_ ? 0 : 1;
+  }
+  /// Tip of the best chain a group works on: the highest tip among the
+  /// group's miners.
+  [[nodiscard]] protocol::BlockIndex group_tip(const AdversaryOps& ops,
+                                               std::uint8_t group) const;
+  void publish_to_group(AdversaryOps& ops, protocol::BlockIndex block,
+                        std::uint8_t group) const;
+  /// Refreshes the two tracked branch tips from honest progress: follow a
+  /// group's tip when it extends our branch, re-anchor when the group
+  /// deserted beyond `reset_margin`, and normalize a collapse (both tips
+  /// on one chain → both set to the deeper tip, so branch[0] == branch[1]
+  /// signals "single chain").
+  void sync_branches(const AdversaryOps& ops, protocol::BlockIndex branch[2],
+                     std::uint64_t reset_margin) const;
+
+ private:
+  std::uint32_t honest_count_;
+  std::uint32_t split_;  ///< miners [0, split) are group 0
+};
+
 class BalanceAttackAdversary final : public Adversary {
  public:
   /// `honest_count` is needed up front to fix the partition.
@@ -109,20 +154,10 @@ class BalanceAttackAdversary final : public Adversary {
   }
 
  private:
-  [[nodiscard]] std::uint8_t group_of(std::uint32_t miner) const noexcept {
-    return miner < split_ ? 0 : 1;
-  }
-  /// Tip of the best chain a group works on: the highest tip among the
-  /// group's miners.
-  [[nodiscard]] protocol::BlockIndex group_tip(const AdversaryOps& ops,
-                                               std::uint8_t group) const;
-  void publish_to_group(AdversaryOps& ops, protocol::BlockIndex block,
-                        std::uint8_t group) const;
-  /// Refresh branch tips from honest progress; detect collapse.
-  void sync_branches(const AdversaryOps& ops);
+  /// sync_branches plus the repair-fork pruning specific to this attack.
+  void sync_state(const AdversaryOps& ops);
 
-  std::uint32_t honest_count_;
-  std::uint32_t split_;  ///< miners [0, split) are group 0
+  HonestPartition partition_;
   std::uint64_t delta_;
   /// How far a branch may fall behind before the attacker re-anchors it.
   std::uint64_t reset_margin_ = 6;
@@ -161,6 +196,74 @@ class SelfishMiningAdversary final : public Adversary {
   bool initialized_ = false;
 };
 
+class ForkBalancerAdversary final : public Adversary {
+ public:
+  /// `honest_count` fixes the two halves up front (miners [0, n/2) vs the
+  /// rest), exactly like BalanceAttackAdversary's partition.
+  ForkBalancerAdversary(std::uint32_t honest_count, std::uint64_t delta);
+
+  [[nodiscard]] std::uint64_t honest_delay(std::uint64_t round,
+                                           std::uint32_t sender,
+                                           std::uint32_t recipient,
+                                           protocol::BlockIndex block) override;
+  void act(AdversaryOps& ops) override;
+  [[nodiscard]] const char* name() const override { return "fork-balancer"; }
+
+  /// Sibling pairs published so far — each one is a fresh equivocation
+  /// splitting the network at the same height.
+  [[nodiscard]] std::uint64_t equivocations() const noexcept {
+    return equivocations_;
+  }
+
+ private:
+  HonestPartition partition_;
+  std::uint64_t delta_;
+  /// How far a branch may fall behind before re-anchoring on the group.
+  std::uint64_t reset_margin_ = 6;
+  /// The two tips being kept level; equal means "collapsed".
+  protocol::BlockIndex branch_[2] = {protocol::kGenesisIndex,
+                                     protocol::kGenesisIndex};
+  /// First child of a pending equivocation (withheld until its sibling is
+  /// mined), and the parent both children must extend.
+  protocol::BlockIndex pending_child_ = protocol::kGenesisIndex;
+  protocol::BlockIndex pending_parent_ = protocol::kGenesisIndex;
+  bool pending_valid_ = false;
+  std::uint64_t equivocations_ = 0;
+};
+
+class DelaySaturatingWithholder final : public Adversary {
+ public:
+  struct Options {
+    /// Fork abandonment threshold: re-anchor on the public chain once the
+    /// private tip is this many blocks behind it ("stubbornness" limit).
+    std::uint64_t rebase_margin = 12;
+  };
+  DelaySaturatingWithholder();
+  explicit DelaySaturatingWithholder(Options options);
+
+  [[nodiscard]] std::uint64_t honest_delay(std::uint64_t, std::uint32_t,
+                                           std::uint32_t,
+                                           protocol::BlockIndex) override {
+    return ~0ULL;  // saturate: clamped to Δ by the engine
+  }
+  void act(AdversaryOps& ops) override;
+  [[nodiscard]] const char* name() const override { return "delay-saturate"; }
+
+  /// Blocks released so far (each release is the minimal overtaking
+  /// prefix, so this counts forced public reorg steps).
+  [[nodiscard]] std::uint64_t released_blocks() const noexcept {
+    return released_;
+  }
+
+ private:
+  Options options_;
+  protocol::BlockIndex private_tip_ = protocol::kGenesisIndex;
+  /// Oldest first; deque because the banked lead grows unboundedly while
+  /// releases pop from the front one block at a time.
+  std::deque<protocol::BlockIndex> withheld_;
+  std::uint64_t released_ = 0;
+};
+
 /// Factory used by the experiment runner.
 enum class AdversaryKind {
   kNull,
@@ -168,6 +271,8 @@ enum class AdversaryKind {
   kPrivateWithhold,
   kBalanceAttack,
   kSelfishMining,
+  kForkBalancer,
+  kDelaySaturate,
 };
 
 [[nodiscard]] const char* adversary_kind_name(AdversaryKind kind);

@@ -1,0 +1,264 @@
+#include "scenario/runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "bounds/zhao.hpp"
+#include "scenario/report.hpp"
+#include "support/contracts.hpp"
+#include "support/table.hpp"
+
+namespace neatbound::scenario {
+namespace {
+
+/// Captures the section/row stream for assertions.
+class RecordingSink final : public exp::ResultSink {
+ public:
+  struct Section {
+    std::string name;
+    std::vector<std::string> headers;
+    std::vector<std::vector<std::string>> rows;
+  };
+  void begin_section(const std::string& name,
+                     const std::vector<std::string>& headers) override {
+    sections.push_back({name, headers, {}});
+  }
+  void add_row(const std::vector<std::string>& cells) override {
+    sections.back().rows.push_back(cells);
+  }
+  void finish() override { finished = true; }
+
+  std::vector<Section> sections;
+  bool finished = false;
+};
+
+constexpr const char* kMiniSweep = R"json({
+  "name": "mini_sweep",
+  "engine": {"miners": 16, "delta": 2, "rounds": 400},
+  "axes": [
+    {"name": "nu", "values": [0.15, 0.3]},
+    {"name": "multiple", "values": [0.5, 2.0]}
+  ],
+  "hardness": {"mode": "neat-bound-multiple"},
+  "seeds": 2,
+  "violation_t": 8,
+  "adversary": {"strategy": "private-withhold"},
+  "network": {"model": "strategy"},
+  "report": {
+    "section_by": "nu",
+    "section_label": "nu = {nu:2}   (neat bound: c > {bound:3})",
+    "columns": [
+      {"header": "nu", "value": "nu", "decimals": 2},
+      {"header": "c", "value": "c", "decimals": 3},
+      {"header": "c/bound", "value": "multiple", "decimals": 2},
+      {"header": "mean violation depth", "value": "violation_depth.mean",
+       "decimals": 1},
+      {"header": "chain quality", "value": "chain_quality.mean",
+       "decimals": 3}
+    ]
+  }
+})json";
+
+void expect_stats_equal(const stats::RunningStats& a,
+                        const stats::RunningStats& b) {
+  EXPECT_EQ(a.count(), b.count());
+  EXPECT_EQ(a.mean(), b.mean());
+  EXPECT_EQ(a.variance(), b.variance());
+  EXPECT_EQ(a.min(), b.min());
+  EXPECT_EQ(a.max(), b.max());
+}
+
+TEST(ScenarioRunner, BitIdenticalToHandWrittenSweep) {
+  // The scenario pipeline against the exact code a hand-written bench
+  // contains: same grid, same config arithmetic, same default adversary —
+  // every aggregate must match bit for bit (single-threaded both sides).
+  const ScenarioSpec spec = parse_scenario(kMiniSweep);
+  const std::vector<exp::SweepCell> scenario_cells =
+      run_scenario(spec, ScenarioRegistry::builtin(), {.threads = 1});
+
+  exp::SweepGrid grid;
+  grid.axis("nu", {0.15, 0.3});
+  grid.axis("multiple", {0.5, 2.0});
+  const auto build = [](const exp::GridPoint& point) {
+    const double nu = point.value("nu");
+    const double c = bounds::neat_bound_c(nu) * point.value("multiple");
+    sim::ExperimentConfig config;
+    config.engine.miner_count = 16;
+    config.engine.adversary_fraction = nu;
+    config.engine.delta = 2;
+    config.engine.p = 1.0 / (c * 16.0 * 2.0);
+    config.engine.rounds = 400;
+    config.adversary = sim::AdversaryKind::kPrivateWithhold;
+    config.seeds = 2;
+    return config;
+  };
+  const std::vector<exp::SweepCell> bench_cells =
+      exp::run_sweep(grid, build, {.violation_t = 8, .threads = 1});
+
+  ASSERT_EQ(scenario_cells.size(), bench_cells.size());
+  for (std::size_t i = 0; i < bench_cells.size(); ++i) {
+    EXPECT_EQ(scenario_cells[i].config.engine.p,
+              bench_cells[i].config.engine.p)
+        << "cell " << i;
+    expect_stats_equal(scenario_cells[i].summary.violation_depth,
+                       bench_cells[i].summary.violation_depth);
+    expect_stats_equal(scenario_cells[i].summary.chain_quality,
+                       bench_cells[i].summary.chain_quality);
+    expect_stats_equal(scenario_cells[i].summary.violation_exceeds_t,
+                       bench_cells[i].summary.violation_exceeds_t);
+    expect_stats_equal(scenario_cells[i].summary.max_reorg_depth,
+                       bench_cells[i].summary.max_reorg_depth);
+    expect_stats_equal(scenario_cells[i].summary.honest_blocks,
+                       bench_cells[i].summary.honest_blocks);
+  }
+}
+
+TEST(ScenarioRunner, ParallelMatchesSerial) {
+  const ScenarioSpec spec = parse_scenario(kMiniSweep);
+  const auto serial =
+      run_scenario(spec, ScenarioRegistry::builtin(), {.threads = 1});
+  const auto parallel =
+      run_scenario(spec, ScenarioRegistry::builtin(), {.threads = 4});
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    expect_stats_equal(serial[i].summary.violation_depth,
+                       parallel[i].summary.violation_depth);
+    expect_stats_equal(serial[i].summary.chain_quality,
+                       parallel[i].summary.chain_quality);
+  }
+}
+
+TEST(ScenarioRunner, RendersBenchStyleSections) {
+  const ScenarioSpec spec = parse_scenario(kMiniSweep);
+  const auto cells =
+      run_scenario(spec, ScenarioRegistry::builtin(), {.threads = 0});
+  RecordingSink sink;
+  render_report(spec, cells, sink);
+
+  ASSERT_EQ(sink.sections.size(), 2u);  // one per nu value
+  const double bound_015 = bounds::neat_bound_c(0.15);
+  EXPECT_EQ(sink.sections[0].name,
+            "nu = 0.15   (neat bound: c > " + format_fixed(bound_015, 3) +
+                ")");
+  ASSERT_EQ(sink.sections[0].rows.size(), 2u);  // one per multiple
+  ASSERT_EQ(sink.sections[0].headers.size(), 5u);
+  // Row cells reproduce the bench's formatting calls exactly.
+  EXPECT_EQ(sink.sections[0].rows[0][0], "0.15");
+  EXPECT_EQ(sink.sections[0].rows[0][1],
+            format_fixed(bound_015 * 0.5, 3));
+  EXPECT_EQ(sink.sections[0].rows[0][2], "0.50");
+  EXPECT_EQ(sink.sections[1].rows[1][2], "2.00");
+  EXPECT_FALSE(sink.finished);  // render_report leaves finish to the caller
+}
+
+TEST(ScenarioRunner, DefaultColumnsCoverAxesAndCoreStats) {
+  const ScenarioSpec spec = parse_scenario(
+      R"({"name": "d", "engine": {"miners": 8, "nu": 0.25, "delta": 2,
+          "rounds": 120, "p": 0.02},
+          "axes": [{"name": "delta", "values": [1, 2]}], "seeds": 1,
+          "adversary": {"strategy": "max-delay"}})");
+  const auto cells =
+      run_scenario(spec, ScenarioRegistry::builtin(), {.threads = 1});
+  RecordingSink sink;
+  render_report(spec, cells, sink);
+  ASSERT_EQ(sink.sections.size(), 1u);
+  EXPECT_EQ(sink.sections[0].name, "");  // unsectioned
+  EXPECT_EQ(sink.sections[0].rows.size(), 2u);
+  // First column is the axis.
+  EXPECT_EQ(sink.sections[0].headers[0], "delta");
+  EXPECT_EQ(sink.sections[0].rows[0][0], "1.0000");
+  EXPECT_EQ(sink.sections[0].rows[1][0], "2.0000");
+}
+
+TEST(ScenarioRunner, OverridesReplaceEngineDefaults) {
+  ScenarioSpec spec = parse_scenario(kMiniSweep);
+  SpecOverrides overrides;
+  overrides.miners = 12;
+  overrides.rounds = 100;
+  overrides.seeds = 1;
+  overrides.base_seed = 777;
+  apply_overrides(spec, overrides);
+  EXPECT_EQ(spec.miners, 12u);
+  EXPECT_EQ(spec.rounds, 100u);
+  EXPECT_EQ(spec.seeds, 1u);
+  EXPECT_EQ(spec.base_seed, 777u);
+
+  const exp::SweepGrid grid = build_grid(spec);
+  const sim::ExperimentConfig config = build_config(spec, grid.point(0));
+  EXPECT_EQ(config.engine.miner_count, 12u);
+  EXPECT_EQ(config.engine.rounds, 100u);
+  EXPECT_EQ(config.seeds, 1u);
+  EXPECT_EQ(config.base_seed, 777u);
+  // The nu axis still wins over any default.
+  EXPECT_DOUBLE_EQ(config.engine.adversary_fraction, 0.15);
+}
+
+TEST(ScenarioRunner, HardnessModeCMatchesFormula) {
+  const ScenarioSpec spec = parse_scenario(
+      R"({"name": "c-mode", "engine": {"miners": 20, "nu": 0.2, "delta": 4,
+          "rounds": 200},
+          "axes": [{"name": "c", "values": [0.5, 2.0]}],
+          "hardness": {"mode": "c"}, "seeds": 1})");
+  const exp::SweepGrid grid = build_grid(spec);
+  const sim::ExperimentConfig config = build_config(spec, grid.point(1));
+  EXPECT_EQ(config.engine.p, 1.0 / (2.0 * 20.0 * 4.0));
+}
+
+TEST(ScenarioRunner, InvalidEngineParametersFailFast) {
+  // ν ≥ 1/2 (covers ν ≥ 1) rejected by validate_engine_config before any
+  // engine run spawns.
+  const ScenarioSpec bad_nu = parse_scenario(
+      R"({"name": "bad", "engine": {"miners": 8, "nu": 0.8, "delta": 2,
+          "rounds": 100, "p": 0.01}, "seeds": 1})");
+  EXPECT_THROW(
+      (void)run_scenario(bad_nu, ScenarioRegistry::builtin(), {.threads = 1}),
+      ContractViolation);
+
+  const ScenarioSpec bad_p = parse_scenario(
+      R"({"name": "bad", "engine": {"miners": 8, "nu": 0.2, "delta": 2,
+          "rounds": 100, "p": 1.5}, "seeds": 1})");
+  EXPECT_THROW(
+      (void)run_scenario(bad_p, ScenarioRegistry::builtin(), {.threads = 1}),
+      ContractViolation);
+}
+
+TEST(ScenarioRunner, UnknownComponentFailsBeforeRunning) {
+  const ScenarioSpec spec = parse_scenario(
+      R"({"name": "x", "engine": {"miners": 8, "nu": 0.2, "delta": 2,
+          "rounds": 100, "p": 0.01}, "seeds": 1,
+          "adversary": {"strategy": "nonexistent"}})");
+  EXPECT_THROW(
+      (void)run_scenario(spec, ScenarioRegistry::builtin(), {.threads = 1}),
+      std::runtime_error);
+}
+
+TEST(ScenarioRunner, UnknownReportValueNamesTheCategories) {
+  const ScenarioSpec spec = parse_scenario(
+      R"({"name": "x", "engine": {"miners": 8, "nu": 0.2, "delta": 2,
+          "rounds": 100, "p": 0.02}, "seeds": 1,
+          "report": {"columns": [{"value": "wat"}]}})");
+  const auto cells =
+      run_scenario(spec, ScenarioRegistry::builtin(), {.threads = 1});
+  RecordingSink sink;
+  EXPECT_THROW(render_report(spec, cells, sink), std::runtime_error);
+}
+
+TEST(ScenarioRunner, LabelTemplateEscapesAndPrecision) {
+  const ScenarioSpec spec = parse_scenario(
+      R"({"name": "x", "engine": {"miners": 8, "nu": 0.25, "delta": 2,
+          "rounds": 100, "p": 0.02}, "seeds": 1})");
+  const auto cells =
+      run_scenario(spec, ScenarioRegistry::builtin(), {.threads = 1});
+  const CellContext context(spec, cells[0]);
+  EXPECT_EQ(format_label("nu={nu:2} {{braces}}", context),
+            "nu=0.25 {braces}");
+  EXPECT_EQ(format_label("p6={nu}", context), "p6=0.250000");
+  EXPECT_THROW((void)format_label("broken {nu", context),
+               std::runtime_error);
+  EXPECT_THROW((void)format_label("{nu:x}", context), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace neatbound::scenario

@@ -1,0 +1,161 @@
+#include "scenario/spec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace neatbound::scenario {
+namespace {
+
+constexpr const char* kFullSpec = R"({
+  "name": "demo",
+  "title": "a demo",
+  "engine": {"miners": 24, "nu": 0.2, "delta": 4, "rounds": 5000, "p": 0.003},
+  "axes": [
+    {"name": "nu", "values": [0.1, 0.3]},
+    {"name": "multiple", "values": [0.5, 1.0, 2.0]}
+  ],
+  "hardness": {"mode": "neat-bound-multiple"},
+  "seeds": 3,
+  "base_seed": 99,
+  "violation_t": 6,
+  "adversary": {"strategy": "private-withhold", "min_fork_depth": 3},
+  "network": {"model": "bursty", "period": 10},
+  "report": {
+    "section_by": "nu",
+    "section_label": "nu = {nu:2}",
+    "columns": [{"header": "nu", "value": "nu", "decimals": 2},
+                {"value": "violation_depth.mean"}]
+  },
+  "meta": {"extra": 7}
+})";
+
+TEST(Spec, ParsesEveryField) {
+  const ScenarioSpec spec = parse_scenario(kFullSpec);
+  EXPECT_EQ(spec.name, "demo");
+  EXPECT_EQ(spec.title, "a demo");
+  EXPECT_EQ(spec.miners, 24u);
+  EXPECT_DOUBLE_EQ(spec.nu, 0.2);
+  EXPECT_EQ(spec.delta, 4u);
+  EXPECT_EQ(spec.rounds, 5000u);
+  EXPECT_DOUBLE_EQ(spec.p, 0.003);
+  EXPECT_EQ(spec.hardness_mode, "neat-bound-multiple");
+  EXPECT_EQ(spec.seeds, 3u);
+  EXPECT_EQ(spec.base_seed, 99u);
+  EXPECT_EQ(spec.violation_t, 6u);
+  EXPECT_EQ(spec.adversary.kind, "private-withhold");
+  EXPECT_EQ(spec.adversary.params.get_uint("min_fork_depth", 0), 3u);
+  EXPECT_EQ(spec.network.kind, "bursty");
+  EXPECT_EQ(spec.network.params.get_uint("period", 0), 10u);
+  ASSERT_EQ(spec.axes.size(), 2u);
+  EXPECT_EQ(spec.axes[0].name, "nu");
+  EXPECT_EQ(spec.axes[1].values.size(), 3u);
+  EXPECT_EQ(spec.grid_size(), 6u);
+  EXPECT_TRUE(spec.has_axis("multiple"));
+  EXPECT_FALSE(spec.has_axis("delta"));
+  EXPECT_EQ(spec.report.section_by, "nu");
+  ASSERT_EQ(spec.report.columns.size(), 2u);
+  EXPECT_EQ(spec.report.columns[0].decimals, 2);
+  // header defaults to the value expression; decimals default to 3.
+  EXPECT_EQ(spec.report.columns[1].header, "violation_depth.mean");
+  EXPECT_EQ(spec.report.columns[1].decimals, 3);
+  ASSERT_EQ(spec.extra_meta.size(), 1u);
+  EXPECT_EQ(spec.extra_meta[0].first, "extra");
+}
+
+TEST(Spec, MinimalSpecGetsDefaults) {
+  const ScenarioSpec spec = parse_scenario(R"({"name": "tiny"})");
+  EXPECT_EQ(spec.name, "tiny");
+  EXPECT_EQ(spec.adversary.kind, "max-delay");
+  EXPECT_EQ(spec.network.kind, "strategy");
+  EXPECT_EQ(spec.hardness_mode, "fixed");
+  EXPECT_EQ(spec.grid_size(), 1u);
+  EXPECT_TRUE(spec.report.columns.empty());
+}
+
+TEST(Spec, RejectsUnknownKeysEverywhere) {
+  EXPECT_THROW((void)parse_scenario(R"({"name": "x", "typo": 1})"),
+               std::runtime_error);
+  EXPECT_THROW(
+      (void)parse_scenario(R"({"name": "x", "engine": {"minres": 8}})"),
+      std::runtime_error);
+  EXPECT_THROW((void)parse_scenario(
+                   R"({"name": "x", "report": {"sectionby": "nu"}})"),
+               std::runtime_error);
+  EXPECT_THROW(
+      (void)parse_scenario(
+          R"({"name": "x", "axes": [{"name": "a", "values": [1], "step": 2}]})"),
+      std::runtime_error);
+}
+
+TEST(Spec, RejectsStructuralMistakes) {
+  // name is required and non-empty
+  EXPECT_THROW((void)parse_scenario(R"({})"), std::runtime_error);
+  EXPECT_THROW((void)parse_scenario(R"({"name": ""})"), std::runtime_error);
+  // empty axis values
+  EXPECT_THROW(
+      (void)parse_scenario(
+          R"({"name": "x", "axes": [{"name": "a", "values": []}]})"),
+      std::runtime_error);
+  // duplicate axis
+  EXPECT_THROW((void)parse_scenario(
+                   R"({"name": "x", "axes": [
+                       {"name": "a", "values": [1]},
+                       {"name": "a", "values": [2]}]})"),
+               std::runtime_error);
+  // zero seeds
+  EXPECT_THROW((void)parse_scenario(R"({"name": "x", "seeds": 0})"),
+               std::runtime_error);
+  // unknown hardness mode
+  EXPECT_THROW(
+      (void)parse_scenario(R"({"name": "x", "hardness": {"mode": "??"}})"),
+      std::runtime_error);
+  // hardness mode "c" without a source for c
+  EXPECT_THROW(
+      (void)parse_scenario(R"({"name": "x", "hardness": {"mode": "c"}})"),
+      std::runtime_error);
+  // section_by must be an axis and needs a label
+  EXPECT_THROW((void)parse_scenario(
+                   R"({"name": "x", "report": {"section_by": "nu",
+                       "section_label": "nu = {nu}"}})"),
+               std::runtime_error);
+  EXPECT_THROW(
+      (void)parse_scenario(
+          R"({"name": "x", "axes": [{"name": "nu", "values": [0.1]}],
+              "report": {"section_by": "nu"}})"),
+      std::runtime_error);
+}
+
+TEST(Spec, BundledScenariosParseAndValidate) {
+  for (const char* file :
+       {"balance_vs_forkbalancer.json", "bursty_partition.json",
+        "consistency_sweep.json", "eclipse_targeting.json",
+        "uniform_jitter.json"}) {
+    const std::string path =
+        std::string(NEATBOUND_SCENARIO_DIR) + "/" + file;
+    const ScenarioSpec spec = load_scenario_file(path);
+    EXPECT_FALSE(spec.name.empty()) << file;
+    EXPECT_GE(spec.grid_size(), 1u) << file;
+  }
+}
+
+TEST(Spec, MirrorSpecMatchesBenchGrid) {
+  const ScenarioSpec spec = load_scenario_file(
+      std::string(NEATBOUND_SCENARIO_DIR) + "/consistency_sweep.json");
+  // The values bench_consistency_sweep hard-codes.
+  EXPECT_EQ(spec.name, "bench_consistency_sweep");
+  EXPECT_EQ(spec.miners, 40u);
+  EXPECT_EQ(spec.delta, 3u);
+  EXPECT_EQ(spec.rounds, 30000u);
+  EXPECT_EQ(spec.seeds, 6u);
+  EXPECT_EQ(spec.base_seed, 12345u);
+  EXPECT_EQ(spec.violation_t, 8u);
+  ASSERT_EQ(spec.axes.size(), 2u);
+  EXPECT_EQ(spec.axes[0].values,
+            (std::vector<double>{0.15, 0.3, 0.4}));
+  EXPECT_EQ(spec.axes[1].values,
+            (std::vector<double>{0.4, 0.7, 1.0, 1.5, 2.5, 5.0, 10.0}));
+}
+
+}  // namespace
+}  // namespace neatbound::scenario

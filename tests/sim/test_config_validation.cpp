@@ -1,0 +1,100 @@
+// validate_engine_config: every unusable parameter combination must be
+// rejected with a ContractViolation naming the offending field — never a
+// silent nonsense run.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "sim/engine.hpp"
+#include "sim/strategies.hpp"
+#include "support/contracts.hpp"
+
+namespace neatbound::sim {
+namespace {
+
+EngineConfig good_config() {
+  EngineConfig config;
+  config.miner_count = 16;
+  config.adversary_fraction = 0.25;
+  config.p = 0.01;
+  config.delta = 2;
+  config.rounds = 100;
+  config.seed = 1;
+  return config;
+}
+
+void expect_rejected(const EngineConfig& config,
+                     const std::string& expected_fragment) {
+  try {
+    validate_engine_config(config);
+    FAIL() << "expected rejection mentioning \"" << expected_fragment
+           << "\"";
+  } catch (const ContractViolation& e) {
+    EXPECT_NE(std::string(e.what()).find(expected_fragment),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(EngineConfigValidation, AcceptsSaneConfig) {
+  EXPECT_NO_THROW(validate_engine_config(good_config()));
+}
+
+TEST(EngineConfigValidation, RejectsNuAtOrAboveHalfAndAboveOne) {
+  EngineConfig config = good_config();
+  config.adversary_fraction = 0.5;
+  expect_rejected(config, "nu");
+  config.adversary_fraction = 1.0;
+  expect_rejected(config, "nu");
+  config.adversary_fraction = 3.0;  // ν ≥ 1 is just deeper into the same
+  expect_rejected(config, "nu");    // rejected region
+  config.adversary_fraction = -0.1;
+  expect_rejected(config, "nu");
+}
+
+TEST(EngineConfigValidation, RejectsZeroDelta) {
+  EngineConfig config = good_config();
+  config.delta = 0;
+  expect_rejected(config, "delta");
+}
+
+TEST(EngineConfigValidation, RejectsPOutsideOpenUnitInterval) {
+  EngineConfig config = good_config();
+  config.p = 0.0;
+  expect_rejected(config, "p must be in (0, 1)");
+  config.p = 1.0;
+  expect_rejected(config, "p must be in (0, 1)");
+  config.p = -0.5;
+  expect_rejected(config, "p must be in (0, 1)");
+  config.p = 2.0;
+  expect_rejected(config, "p must be in (0, 1)");
+}
+
+TEST(EngineConfigValidation, RejectsZeroRounds) {
+  EngineConfig config = good_config();
+  config.rounds = 0;
+  expect_rejected(config, "rounds");
+}
+
+TEST(EngineConfigValidation, RejectsTooFewMiners) {
+  EngineConfig config = good_config();
+  config.miner_count = 3;
+  expect_rejected(config, "n >= 4");
+}
+
+TEST(EngineConfigValidation, EngineConstructorRunsTheSameChecks) {
+  EngineConfig config = good_config();
+  config.p = 0.0;
+  EXPECT_THROW(
+      ExecutionEngine(config, std::make_unique<NullAdversary>()),
+      ContractViolation);
+  config = good_config();
+  config.rounds = 0;
+  EXPECT_THROW(
+      ExecutionEngine(config, std::make_unique<NullAdversary>()),
+      ContractViolation);
+}
+
+}  // namespace
+}  // namespace neatbound::sim

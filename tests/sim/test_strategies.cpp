@@ -12,7 +12,8 @@ TEST(Factory, ProducesEveryKind) {
   for (const AdversaryKind kind :
        {AdversaryKind::kNull, AdversaryKind::kMaxDelay,
         AdversaryKind::kPrivateWithhold, AdversaryKind::kBalanceAttack,
-        AdversaryKind::kSelfishMining}) {
+        AdversaryKind::kSelfishMining, AdversaryKind::kForkBalancer,
+        AdversaryKind::kDelaySaturate}) {
     const auto adversary = make_adversary(kind, 10, 4);
     ASSERT_NE(adversary, nullptr);
     EXPECT_STREQ(adversary->name(), adversary_kind_name(kind));
@@ -129,6 +130,67 @@ TEST(SelfishMining, NearHonestShareWhenWeak) {
   ExecutionEngine engine(config, std::make_unique<SelfishMiningAdversary>());
   const RunResult result = engine.run();
   EXPECT_GT(result.chain.quality, 0.82);
+}
+
+TEST(ForkBalancer, SplitsAndSustainsDivergenceWhenFavoured) {
+  // Same favourable regime as the balance attack (ν = 0.4, c well below
+  // 1/ν − 1/μ): the equivocating balancer must split the network and keep
+  // the halves apart for most of the run.
+  EngineConfig config;
+  config.miner_count = 40;
+  config.adversary_fraction = 0.4;
+  config.p = 0.01;
+  config.delta = 4;
+  config.rounds = 8000;
+  config.seed = 13;
+  auto adversary = std::make_unique<ForkBalancerAdversary>(24, config.delta);
+  const auto* observer = adversary.get();
+  ExecutionEngine engine(config, std::move(adversary));
+  const RunResult result = engine.run();
+  EXPECT_GT(observer->equivocations(), 0u);
+  EXPECT_GE(result.max_divergence, 8u);
+  EXPECT_GT(result.disagreement_rounds, config.rounds / 2);
+}
+
+TEST(ForkBalancer, DelaysAreGroupLocal) {
+  ForkBalancerAdversary adversary(10, 6);
+  // Miners [0,5) are group 0, [5,10) group 1.
+  EXPECT_EQ(adversary.honest_delay(0, 0, 4, 0), 1u);   // same group
+  EXPECT_EQ(adversary.honest_delay(0, 7, 9, 0), 1u);   // same group
+  EXPECT_EQ(adversary.honest_delay(0, 0, 5, 0), 6u);   // cross group
+  EXPECT_EQ(adversary.honest_delay(0, 9, 4, 0), 6u);   // cross group
+}
+
+TEST(DelaySaturate, ForcesReorgsAndKeepsALeadWhenStrong) {
+  EngineConfig config;
+  config.miner_count = 40;
+  config.adversary_fraction = 0.45;
+  config.p = 0.006;
+  config.delta = 3;
+  config.rounds = 30000;
+  config.seed = 14;
+  auto adversary = std::make_unique<DelaySaturatingWithholder>();
+  const auto* observer = adversary.get();
+  ExecutionEngine engine(config, std::move(adversary));
+  const RunResult result = engine.run();
+  EXPECT_GT(observer->released_blocks(), 0u);
+  EXPECT_GE(result.max_reorg_depth, 1u);
+  // Released adversary blocks displace honest ones in the public chain.
+  EXPECT_LT(result.chain.quality, 1.0);
+}
+
+TEST(DelaySaturate, HarmlessWhenWeak) {
+  EngineConfig config;
+  config.miner_count = 40;
+  config.adversary_fraction = 0.1;
+  config.p = 0.001;
+  config.delta = 2;
+  config.rounds = 20000;
+  config.seed = 15;
+  ExecutionEngine engine(config,
+                         std::make_unique<DelaySaturatingWithholder>());
+  const RunResult result = engine.run();
+  EXPECT_LE(result.violation_depth, 4u);
 }
 
 }  // namespace

@@ -147,6 +147,75 @@ TEST(CliArgs, GetUintRejectsNegativeBehindAnyWhitespace) {
   EXPECT_THROW((void)args.get_uint("b", 0), std::runtime_error);
 }
 
+TEST(CliArgs, UsageListsRegisteredFlagsWithTypesAndDefaults) {
+  const char* argv[] = {"prog"};
+  CliArgs args(1, argv);
+  (void)args.get_uint("rounds", 1000, "rounds per run");
+  (void)args.get_double("nu", 0.25);
+  (void)args.get_string("csv", "");
+  const std::string usage = args.usage();
+  EXPECT_NE(usage.find("--rounds <uint>"), std::string::npos) << usage;
+  EXPECT_NE(usage.find("(default: 1000)"), std::string::npos) << usage;
+  EXPECT_NE(usage.find("rounds per run"), std::string::npos) << usage;
+  EXPECT_NE(usage.find("--nu <number>"), std::string::npos) << usage;
+  EXPECT_NE(usage.find("--csv <string>"), std::string::npos) << usage;
+  EXPECT_NE(usage.find("--help"), std::string::npos) << usage;
+}
+
+TEST(CliArgs, HandleHelpPrintsUsageOnlyWhenRequested) {
+  {
+    const char* argv[] = {"prog", "--help"};
+    CliArgs args(2, argv);
+    (void)args.get_uint("rounds", 1000);
+    std::ostringstream os;
+    EXPECT_TRUE(args.handle_help(os));
+    EXPECT_NE(os.str().find("--rounds <uint>"), std::string::npos);
+    // --help counts as consumed; nothing else to reject.
+    EXPECT_NO_THROW(args.reject_unconsumed());
+  }
+  {
+    const char* argv[] = {"prog"};
+    CliArgs args(1, argv);
+    std::ostringstream os;
+    EXPECT_FALSE(args.handle_help(os));
+    EXPECT_TRUE(os.str().empty());
+  }
+}
+
+TEST(CliArgs, OptionalGettersDistinguishAbsentFromProvided) {
+  const char* argv[] = {"prog", "--rounds=200"};
+  CliArgs args(2, argv);
+  EXPECT_EQ(args.get_opt_uint("rounds", "override"), 200u);
+  EXPECT_EQ(args.get_opt_uint("seeds"), std::nullopt);
+  EXPECT_EQ(args.get_opt_double("nu"), std::nullopt);
+  EXPECT_NO_THROW(args.reject_unconsumed());
+  // Registered without a default: usage shows no "(default: …)".
+  const std::string usage = args.usage();
+  EXPECT_NE(usage.find("--seeds <uint>"), std::string::npos) << usage;
+  EXPECT_EQ(usage.find("(default:"), std::string::npos) << usage;
+}
+
+TEST(CliArgs, OptionalGettersStillValidateValues) {
+  const char* argv[] = {"prog", "--rounds=abc", "--nu=xyz"};
+  CliArgs args(3, argv);
+  EXPECT_THROW((void)args.get_opt_uint("rounds"), std::runtime_error);
+  EXPECT_THROW((void)args.get_opt_double("nu"), std::runtime_error);
+}
+
+TEST(CliArgs, UnknownFlagErrorIncludesUsage) {
+  const char* argv[] = {"prog", "--typo=1"};
+  CliArgs args(2, argv);
+  (void)args.get_uint("rounds", 1000);
+  try {
+    args.reject_unconsumed();
+    FAIL() << "expected an unknown-flag error";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("--typo"), std::string::npos) << what;
+    EXPECT_NE(what.find("--rounds <uint>"), std::string::npos) << what;
+  }
+}
+
 TEST(CsvFormatRow, JoinsAndQuotes) {
   EXPECT_EQ(csv_format_row({"a", "b"}), "a,b");
   EXPECT_EQ(csv_format_row({"x,y", "q\"t"}), "\"x,y\",\"q\"\"t\"");
