@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Keep README and the docs/ tree consistent.
+
+Checks, from the repo root (or --root):
+  1. every `docs/<name>.md` referenced from README.md exists on disk;
+  2. every file in docs/ is referenced from README.md (no orphan docs);
+  3. every relative markdown link inside docs/*.md resolves to a real
+     file in the repository.
+
+Exit status 1 with a per-violation message on any failure.
+"""
+import argparse
+import pathlib
+import re
+import sys
+
+# docs/foo.md mentions in README (inline code, links, bare text).
+DOCS_REF = re.compile(r"docs/[A-Za-z0-9_.-]+\.md")
+# [label](target) markdown links, excluding images and external URLs.
+MD_LINK = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)#\s]+)(?:#[^)]*)?\)")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=".", help="repository root")
+    args = parser.parse_args()
+    root = pathlib.Path(args.root).resolve()
+    readme = root / "README.md"
+    docs_dir = root / "docs"
+    failures: list[str] = []
+
+    readme_text = readme.read_text(encoding="utf-8")
+    referenced = set(DOCS_REF.findall(readme_text))
+
+    for ref in sorted(referenced):
+        if not (root / ref).is_file():
+            failures.append(f"README.md references {ref}, which does not exist")
+
+    on_disk = {f"docs/{p.name}" for p in docs_dir.glob("*.md")}
+    for doc in sorted(on_disk - referenced):
+        failures.append(f"{doc} exists but README.md never references it")
+
+    for doc in sorted(docs_dir.glob("*.md")):
+        for target in MD_LINK.findall(doc.read_text(encoding="utf-8")):
+            if "://" in target or target.startswith("mailto:"):
+                continue
+            resolved = (doc.parent / target).resolve()
+            if not resolved.exists():
+                failures.append(
+                    f"{doc.relative_to(root)} links to {target}, "
+                    f"which does not exist")
+
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if failures:
+        return 1
+    print(f"OK: {len(referenced)} README→docs references, "
+          f"{len(on_disk)} docs files, all links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Fail when engine throughput regressed against the checked-in baseline.
+
+Usage:
+    check_perf_regression.py BASELINE_JSON CURRENT_JSON [--max-regression F]
+
+Both files are bench_engine_throughput JSON summaries (see
+scripts/perf_baseline).  The comparison is on meta.rounds_per_sec — a
+rate, so the current run may be downsized (fewer rounds/seeds) relative
+to the baseline.  Exit status 1 when
+
+    current_rounds_per_sec < baseline_rounds_per_sec * (1 - F)
+
+with F defaulting to 0.25 (the CI gate).  Machines differ; F is a guard
+against order-of-magnitude regressions, not a microbenchmark oracle —
+override with --max-regression when comparing across hardware tiers.
+"""
+import argparse
+import json
+import sys
+
+
+def rounds_per_sec(path: str) -> float:
+    with open(path, encoding="utf-8") as fh:
+        doc = json.load(fh)
+    try:
+        value = float(doc["meta"]["rounds_per_sec"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SystemExit(f"{path}: missing/invalid meta.rounds_per_sec: {exc}")
+    if value <= 0:
+        raise SystemExit(f"{path}: non-positive rounds_per_sec {value}")
+    return value
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--max-regression", type=float, default=0.25,
+                        help="allowed fractional slowdown (default 0.25)")
+    args = parser.parse_args()
+
+    base = rounds_per_sec(args.baseline)
+    cur = rounds_per_sec(args.current)
+    floor = base * (1.0 - args.max_regression)
+    ratio = cur / base
+    print(f"baseline: {base:,.0f} rounds/s   current: {cur:,.0f} rounds/s   "
+          f"ratio: {ratio:.2f}   floor: {floor:,.0f}")
+    if cur < floor:
+        print(f"FAIL: throughput regressed more than "
+              f"{args.max_regression:.0%} against {args.baseline}",
+              file=sys.stderr)
+        return 1
+    print("OK: within the regression budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

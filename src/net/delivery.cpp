@@ -1,25 +1,51 @@
 #include "net/delivery.hpp"
 
+#include <algorithm>
+#include <bit>
+
 namespace neatbound::net {
 
-DeliveryQueue::DeliveryQueue(std::uint32_t recipient_count)
-    : recipient_count_(recipient_count) {
+namespace {
+constexpr std::uint64_t kInitialSpan = 16;  ///< ring buckets at construction
+}  // namespace
+
+DeliveryCalendar::DeliveryCalendar(std::uint32_t recipient_count)
+    : recipient_count_(recipient_count), buckets_(kInitialSpan) {
   NEATBOUND_EXPECTS(recipient_count > 0, "need at least one recipient");
 }
 
-void DeliveryQueue::schedule(std::uint64_t due_round, std::uint32_t recipient,
-                             protocol::BlockIndex block) {
+void DeliveryCalendar::schedule(std::uint64_t due_round,
+                                std::uint32_t recipient,
+                                protocol::BlockIndex block) {
   NEATBOUND_EXPECTS(recipient < recipient_count_, "recipient out of range");
-  heap_.push(Delivery{due_round, recipient, block});
+  // A message scheduled at or before an already-collected round is late,
+  // not lost: it lands in the next collectable bucket.
+  const std::uint64_t round = std::max(due_round, base_round_);
+  NEATBOUND_EXPECTS(round - base_round_ < kMaxSpan,
+                    "due round too far past the delivery horizon");
+  if (round - base_round_ >= buckets_.size()) {
+    grow(round - base_round_ + 1);
+  }
+  bucket_at(round).push_back(Pending{recipient, block});
+  ++pending_;
 }
 
-std::vector<Delivery> DeliveryQueue::collect_due(std::uint64_t round) {
+std::vector<Delivery> DeliveryCalendar::collect_due(std::uint64_t round) {
   std::vector<Delivery> due;
-  while (!heap_.empty() && heap_.top().due_round <= round) {
-    due.push_back(heap_.top());
-    heap_.pop();
-  }
+  due.reserve(pending_);
+  drain_due(round, [&due](const Delivery& d) { due.push_back(d); });
   return due;
+}
+
+void DeliveryCalendar::grow(std::uint64_t span) {
+  const std::uint64_t old_size = buckets_.size();
+  std::vector<std::vector<Pending>> grown(std::bit_ceil(span));
+  // Every pending entry lives in [base_round_, base_round_ + old span);
+  // move each round's bucket wholesale to its slot in the wider ring.
+  for (std::uint64_t r = base_round_; r < base_round_ + old_size; ++r) {
+    grown[r & (grown.size() - 1)] = std::move(buckets_[r & (old_size - 1)]);
+  }
+  buckets_ = std::move(grown);
 }
 
 }  // namespace neatbound::net

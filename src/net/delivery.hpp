@@ -10,7 +10,6 @@
 #pragma once
 
 #include <cstdint>
-#include <queue>
 #include <vector>
 
 #include "protocol/block.hpp"
@@ -26,29 +25,96 @@ struct Delivery {
   protocol::BlockIndex block = 0;
 };
 
-/// Round-indexed delivery queue for all recipients.
-class DeliveryQueue {
+/// Round-indexed delivery calendar for all recipients: a flat ring buffer
+/// of per-round buckets.  Δ is small and bounded, so every in-flight
+/// message lives within a narrow window of future rounds — a
+/// bucket-per-round ring makes schedule() an O(1) vector append and the
+/// per-round drain a contiguous sweep, where any ordered container would
+/// pay comparisons and pointer chasing on the T×n hot path.
+///
+/// Ordering contract: collect_due/drain_due emit strictly ascending due
+/// rounds, FIFO (schedule order) within a round.  Determinism therefore
+/// depends only on the schedule() call sequence.  (The previous
+/// binary-heap implementation left within-round order unspecified-but-
+/// deterministic; the calendar pins it to schedule order.)
+///
+/// The window grows on demand: scheduling past the current horizon
+/// re-buckets into a larger power-of-two ring, up to kMaxSpan rounds
+/// ahead (memory is O(span), so a far-future due round is a contract
+/// violation rather than an unbounded allocation).  Scheduling at or
+/// before an already-collected round is clamped to the next collectable
+/// round — the message is late, not lost.
+class DeliveryCalendar {
  public:
-  explicit DeliveryQueue(std::uint32_t recipient_count);
+  /// Hard bound on how far ahead of the drain point a delivery may be
+  /// scheduled.  The engine needs at most 2Δ + 1; 2^20 rounds leaves
+  /// four orders of magnitude of headroom over any simulated Δ.
+  static constexpr std::uint64_t kMaxSpan = std::uint64_t{1} << 20;
 
-  /// Schedules `block` to reach `recipient` at `due_round`.
+  explicit DeliveryCalendar(std::uint32_t recipient_count);
+
+  /// Schedules `block` to reach `recipient` at `due_round`, which must
+  /// lie less than kMaxSpan rounds past the earliest uncollected round.
   void schedule(std::uint64_t due_round, std::uint32_t recipient,
                 protocol::BlockIndex block);
 
   /// Pops everything due at or before `round` for all recipients; the
-  /// result is grouped as (recipient, block) pairs in due order.
+  /// result is grouped as (recipient, block) pairs in due order (see the
+  /// ordering contract above).
   [[nodiscard]] std::vector<Delivery> collect_due(std::uint64_t round);
 
-  [[nodiscard]] std::size_t pending() const noexcept { return heap_.size(); }
+  /// Zero-allocation drain: invokes `fn(delivery)` for everything due at
+  /// or before `round`, in exactly collect_due's order.  The engine's
+  /// per-round hot path; bucket storage is retained for reuse.
+  template <typename Fn>
+  void drain_due(std::uint64_t round, Fn&& fn) {
+    if (pending_ == 0) {
+      if (round >= base_round_) base_round_ = round + 1;
+      return;
+    }
+    while (base_round_ <= round) {
+      // Re-fetch the bucket every step: schedule() during the callback
+      // may append to this very bucket (same-round delivery) or grow the
+      // ring (reallocating buckets_); index-based access stays valid
+      // through both.
+      for (std::size_t i = 0; i < bucket_at(base_round_).size(); ++i) {
+        const Pending p = bucket_at(base_round_)[i];
+        --pending_;
+        fn(Delivery{base_round_, p.recipient, p.block});
+      }
+      bucket_at(base_round_).clear();
+      ++base_round_;
+      if (pending_ == 0) {
+        base_round_ = round >= base_round_ ? round + 1 : base_round_;
+        break;
+      }
+    }
+  }
+
+  [[nodiscard]] std::size_t pending() const noexcept { return pending_; }
+
+  /// Rounds the ring currently spans (diagnostic; grows on demand).
+  [[nodiscard]] std::uint64_t horizon() const noexcept {
+    return buckets_.size();
+  }
 
  private:
-  struct Later {
-    bool operator()(const Delivery& a, const Delivery& b) const noexcept {
-      return a.due_round > b.due_round;
-    }
+  struct Pending {
+    std::uint32_t recipient = 0;
+    protocol::BlockIndex block = 0;
   };
+
+  [[nodiscard]] std::vector<Pending>& bucket_at(std::uint64_t round) {
+    return buckets_[round & (buckets_.size() - 1)];
+  }
+  /// Re-buckets into a ring spanning at least `span` rounds.
+  void grow(std::uint64_t span);
+
   std::uint32_t recipient_count_;
-  std::priority_queue<Delivery, std::vector<Delivery>, Later> heap_;
+  std::uint64_t base_round_ = 0;  ///< earliest round not yet collected
+  std::size_t pending_ = 0;
+  /// Power-of-two bucket count; bucket for round r is r mod size.
+  std::vector<std::vector<Pending>> buckets_;
 };
 
 /// Chooses per-(message, recipient) delays, within [1, Δ].

@@ -2,25 +2,36 @@
 
 #include <algorithm>
 
-#include "support/contracts.hpp"
-
 namespace neatbound::protocol {
 
 BlockStore::BlockStore() {
-  Block genesis;
-  genesis.hash = 0;
-  genesis.parent_hash = 0;
-  genesis.parent = kGenesisIndex;
-  genesis.height = 0;
-  genesis.round = 0;
-  genesis.miner_class = MinerClass::kGenesis;
-  blocks_.push_back(std::move(genesis));
+  hash_.push_back(0);
+  parent_hash_.push_back(0);
+  parent_.push_back(kGenesisIndex);
+  height_.push_back(0);
+  round_.push_back(0);
+  nonce_.push_back(0);
+  payload_digest_.push_back(0);
+  miner_.push_back(0);
+  miner_class_.push_back(MinerClass::kGenesis);
+  message_.emplace_back();
   by_hash_.emplace(0, kGenesisIndex);
 }
 
-const Block& BlockStore::block(BlockIndex index) const {
-  NEATBOUND_EXPECTS(index < blocks_.size(), "block index out of range");
-  return blocks_[index];
+Block BlockStore::block(BlockIndex index) const {
+  check_index(index);
+  Block b;
+  b.hash = hash_[index];
+  b.parent_hash = parent_hash_[index];
+  b.parent = parent_[index];
+  b.height = height_[index];
+  b.round = round_[index];
+  b.nonce = nonce_[index];
+  b.payload_digest = payload_digest_[index];
+  b.miner = miner_[index];
+  b.miner_class = miner_class_[index];
+  b.message = message_[index];
+  return b;
 }
 
 BlockIndex BlockStore::add(Block block) {
@@ -29,13 +40,46 @@ BlockIndex BlockStore::add(Block block) {
                     "parent block must exist before its child");
   NEATBOUND_EXPECTS(by_hash_.find(block.hash) == by_hash_.end(),
                     "duplicate block hash (oracle collision)");
-  block.parent = parent_it->second;
-  block.height = blocks_[block.parent].height + 1;
-  NEATBOUND_EXPECTS(block.round >= blocks_[block.parent].round,
+  const BlockIndex parent = parent_it->second;
+  const std::uint32_t height = height_[parent] + 1;
+  NEATBOUND_EXPECTS(block.round >= round_[parent],
                     "child round must not precede parent round");
-  const auto index = static_cast<BlockIndex>(blocks_.size());
+  const auto index = static_cast<BlockIndex>(hash_.size());
   by_hash_.emplace(block.hash, index);
-  blocks_.push_back(std::move(block));
+
+  hash_.push_back(block.hash);
+  parent_hash_.push_back(block.parent_hash);
+  parent_.push_back(parent);
+  height_.push_back(height);
+  round_.push_back(block.round);
+  nonce_.push_back(block.nonce);
+  payload_digest_.push_back(block.payload_digest);
+  miner_.push_back(block.miner);
+  miner_class_.push_back(block.miner_class);
+  message_.push_back(std::move(block.message));
+
+  // Extend the skip table: row k holds the 2^(k+1)-th ancestor, computed
+  // as the 2^k-th ancestor of the 2^k-th ancestor.  Rows the new block is
+  // too shallow for get a genesis pad so every row stays index-aligned;
+  // a row created here is backfilled with genesis, correct because every
+  // earlier block is shallower than 2^(k+1).
+  BlockIndex half_step = parent;  // the 2^k-th ancestor, k starting at 0
+  const std::size_t needed_rows = [&] {
+    std::size_t rows = 0;
+    while ((std::uint64_t{2} << rows) <= height) ++rows;
+    return rows;
+  }();
+  if (skip_.size() < needed_rows) {
+    skip_.emplace_back(index, kGenesisIndex);
+    NEATBOUND_ENSURES(skip_.size() == needed_rows,
+                      "heights grow by one, so rows appear one at a time");
+  }
+  for (unsigned k = 1; k <= skip_.size(); ++k) {
+    const bool real = (std::uint64_t{1} << k) <= height;
+    const BlockIndex anc = real ? lift(half_step, k - 1) : kGenesisIndex;
+    skip_[k - 1].push_back(anc);
+    half_step = anc;
+  }
   return index;
 }
 
@@ -50,49 +94,63 @@ BlockIndex BlockStore::index_of(HashValue hash) const {
 }
 
 BlockIndex BlockStore::ancestor(BlockIndex index, std::uint64_t steps) const {
-  NEATBOUND_EXPECTS(index < blocks_.size(), "block index out of range");
-  BlockIndex cur = index;
-  while (steps > 0 && cur != kGenesisIndex) {
-    cur = blocks_[cur].parent;
-    --steps;
+  check_index(index);
+  if (steps >= height_[index]) return kGenesisIndex;  // documented clamp
+  return ancestor_at_height(index, height_[index] - steps);
+}
+
+BlockIndex BlockStore::ancestor_at_height(BlockIndex index,
+                                          std::uint64_t target_height) const {
+  check_index(index);
+  NEATBOUND_EXPECTS(target_height <= height_[index],
+                    "target height above the block");
+  std::uint64_t diff = height_[index] - target_height;
+  for (unsigned k = 0; diff != 0; ++k, diff >>= 1) {
+    if (diff & 1) index = lift(index, k);
   }
-  return cur;
+  return index;
 }
 
 BlockIndex BlockStore::common_ancestor(BlockIndex a, BlockIndex b) const {
-  NEATBOUND_EXPECTS(a < blocks_.size() && b < blocks_.size(),
-                    "block index out of range");
-  // Equalize heights, then walk up in lockstep.
-  while (blocks_[a].height > blocks_[b].height) a = blocks_[a].parent;
-  while (blocks_[b].height > blocks_[a].height) b = blocks_[b].parent;
-  while (a != b) {
-    a = blocks_[a].parent;
-    b = blocks_[b].parent;
+  check_index(a);
+  check_index(b);
+  // Equalize heights with skip jumps, then binary-search the fork point.
+  if (height_[a] > height_[b]) a = ancestor_at_height(a, height_[b]);
+  if (height_[b] > height_[a]) b = ancestor_at_height(b, height_[a]);
+  if (a == b) return a;
+  for (unsigned k = static_cast<unsigned>(skip_.size()) + 1; k-- > 0;) {
+    // Equal lifts mean the common ancestor is at or above that level —
+    // don't jump; unequal lifts are both strictly below it — jump.
+    // (Genesis-padded entries compare equal, so overshoots never jump.)
+    const BlockIndex la = lift(a, k);
+    const BlockIndex lb = lift(b, k);
+    if (la != lb) {
+      a = la;
+      b = lb;
+    }
   }
-  return a;
+  return parent_[a];
 }
 
 std::uint64_t BlockStore::common_prefix_height(BlockIndex a,
                                                BlockIndex b) const {
-  return blocks_[common_ancestor(a, b)].height;
+  return height_[common_ancestor(a, b)];
 }
 
 bool BlockStore::is_ancestor(BlockIndex ancestor_candidate,
                              BlockIndex descendant) const {
-  NEATBOUND_EXPECTS(
-      ancestor_candidate < blocks_.size() && descendant < blocks_.size(),
-      "block index out of range");
-  BlockIndex cur = descendant;
-  const std::uint64_t target_height = blocks_[ancestor_candidate].height;
-  while (blocks_[cur].height > target_height) cur = blocks_[cur].parent;
-  return cur == ancestor_candidate;
+  check_index(ancestor_candidate);
+  check_index(descendant);
+  if (height_[ancestor_candidate] > height_[descendant]) return false;
+  return ancestor_at_height(descendant, height_[ancestor_candidate]) ==
+         ancestor_candidate;
 }
 
 std::vector<BlockIndex> BlockStore::chain_to(BlockIndex tip) const {
-  NEATBOUND_EXPECTS(tip < blocks_.size(), "block index out of range");
+  check_index(tip);
   std::vector<BlockIndex> chain;
-  chain.reserve(blocks_[tip].height + 1);
-  for (BlockIndex cur = tip;; cur = blocks_[cur].parent) {
+  chain.reserve(height_[tip] + 1);
+  for (BlockIndex cur = tip;; cur = parent_[cur]) {
     chain.push_back(cur);
     if (cur == kGenesisIndex) break;
   }
@@ -103,8 +161,7 @@ std::vector<BlockIndex> BlockStore::chain_to(BlockIndex tip) const {
 std::vector<std::string> BlockStore::extract_messages(BlockIndex tip) const {
   std::vector<std::string> messages;
   for (const BlockIndex index : chain_to(tip)) {
-    const Block& b = blocks_[index];
-    if (!b.message.empty()) messages.push_back(b.message);
+    if (!message_[index].empty()) messages.push_back(message_[index]);
   }
   return messages;
 }

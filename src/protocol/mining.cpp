@@ -5,7 +5,15 @@ namespace neatbound::protocol {
 std::optional<Block> try_mine(const RandomOracle& oracle,
                               const PowTarget& target, HashValue parent_hash,
                               std::uint64_t payload_digest, Rng& rng) {
-  const std::uint64_t nonce = rng.bits();
+  return try_mine_with_nonce(oracle, target, parent_hash, payload_digest,
+                             rng.bits());
+}
+
+std::optional<Block> try_mine_with_nonce(const RandomOracle& oracle,
+                                         const PowTarget& target,
+                                         HashValue parent_hash,
+                                         std::uint64_t payload_digest,
+                                         std::uint64_t nonce) {
   const HashValue hash = oracle.query(parent_hash, nonce, payload_digest);
   if (!target.satisfied_by(hash)) return std::nullopt;
   Block block;

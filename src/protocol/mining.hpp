@@ -23,4 +23,12 @@ namespace neatbound::protocol {
                                             std::uint64_t payload_digest,
                                             Rng& rng);
 
+/// Batched-RNG variant: the caller supplies the nonce η it drew itself —
+/// the engine pre-draws one dense block of nonces for a whole round of
+/// honest queries (same stream, same order as per-query draws, so results
+/// are bit-identical) instead of interleaving RNG steps with hashing.
+[[nodiscard]] std::optional<Block> try_mine_with_nonce(
+    const RandomOracle& oracle, const PowTarget& target,
+    HashValue parent_hash, std::uint64_t payload_digest, std::uint64_t nonce);
+
 }  // namespace neatbound::protocol

@@ -7,27 +7,29 @@ ValidationReport validate_chain(const BlockStore& store, BlockIndex tip,
                                 const PowTarget& target) {
   const auto chain = store.chain_to(tip);
   for (std::size_t i = 1; i < chain.size(); ++i) {
-    const Block& b = store.block(chain[i]);
-    const Block& parent = store.block(chain[i - 1]);
-    if (b.parent_hash != parent.hash) {
+    const BlockIndex b = chain[i];
+    const BlockIndex parent = chain[i - 1];
+    const std::uint64_t height = store.height_of(b);
+    if (store.parent_hash_of(b) != store.hash_of(parent)) {
       return ValidationReport::fail("hash linkage broken at height " +
-                                    std::to_string(b.height));
+                                    std::to_string(height));
     }
-    if (b.height != parent.height + 1) {
+    if (height != store.height_of(parent) + 1) {
       return ValidationReport::fail("height not incremented at height " +
-                                    std::to_string(b.height));
+                                    std::to_string(height));
     }
-    if (b.round < parent.round) {
+    if (store.round_of(b) < store.round_of(parent)) {
       return ValidationReport::fail("round precedes parent at height " +
-                                    std::to_string(b.height));
+                                    std::to_string(height));
     }
-    if (!oracle.verify(b.parent_hash, b.nonce, b.payload_digest, b.hash)) {
+    if (!oracle.verify(store.parent_hash_of(b), store.nonce_of(b),
+                       store.payload_digest_of(b), store.hash_of(b))) {
       return ValidationReport::fail("H.ver failed at height " +
-                                    std::to_string(b.height));
+                                    std::to_string(height));
     }
-    if (!target.satisfied_by(b.hash)) {
+    if (!target.satisfied_by(store.hash_of(b))) {
       return ValidationReport::fail("proof of work misses target at height " +
-                                    std::to_string(b.height));
+                                    std::to_string(height));
     }
   }
   return ValidationReport::ok();

@@ -65,9 +65,8 @@ class ExecutionEngine::Ops final : public AdversaryOps {
       protocol::BlockIndex parent) override {
     NEATBOUND_EXPECTS(remaining_ > 0, "adversary query budget exhausted");
     --remaining_;
-    const protocol::Block& parent_block = engine_.store_.block(parent);
     auto mined = protocol::try_mine(
-        engine_.oracle_, engine_.target_, parent_block.hash,
+        engine_.oracle_, engine_.target_, engine_.store_.hash_of(parent),
         mix64(++engine_.payload_counter_), engine_.rng_);
     if (!mined) return std::nullopt;
     mined->round = round_;
@@ -82,7 +81,7 @@ class ExecutionEngine::Ops final : public AdversaryOps {
     NEATBOUND_EXPECTS(recipient < engine_.honest_count_,
                       "recipient out of range");
     const std::uint64_t d = engine_.clamp_delay(delay);
-    engine_.queue_.schedule(round_ + d, recipient, block);
+    engine_.calendar_.schedule(round_ + d, recipient, block);
     engine_.schedule_echo(round_ + d, block);
   }
 
@@ -90,7 +89,7 @@ class ExecutionEngine::Ops final : public AdversaryOps {
                       std::uint64_t delay) override {
     const std::uint64_t d = engine_.clamp_delay(delay);
     for (std::uint32_t r = 0; r < engine_.honest_count_; ++r) {
-      engine_.queue_.schedule(round_ + d, r, block);
+      engine_.calendar_.schedule(round_ + d, r, block);
     }
     engine_.schedule_echo(round_ + d, block);
   }
@@ -113,7 +112,7 @@ ExecutionEngine::ExecutionEngine(EngineConfig config,
       adversary_queries_(corrupted_count(config)),
       oracle_(mix64(config.seed ^ 0x5bd1e995u)),
       target_(protocol::PowTarget::from_probability(config.p)),
-      queue_(config.miner_count),
+      calendar_(config.miner_count),
       adversary_(std::move(adversary)),
       environment_(std::move(environment)),
       rng_(mix64(config.seed)) {
@@ -121,6 +120,7 @@ ExecutionEngine::ExecutionEngine(EngineConfig config,
   NEATBOUND_EXPECTS(adversary_ != nullptr, "an adversary is required");
   views_.resize(honest_count_);
   tips_scratch_.resize(honest_count_, protocol::kGenesisIndex);
+  nonce_scratch_.resize(honest_count_);
 }
 
 ExecutionEngine::~ExecutionEngine() = default;
@@ -131,13 +131,19 @@ protocol::BlockIndex ExecutionEngine::honest_tip(std::uint32_t miner) const {
 }
 
 protocol::BlockIndex ExecutionEngine::best_honest_tip() const {
-  protocol::BlockIndex best = views_[0].tip();
-  for (const MinerView& view : views_) {
-    if (store_.height_of(view.tip()) > store_.height_of(best)) {
-      best = view.tip();
-    }
+  return best_tip_;
+}
+
+void ExecutionEngine::note_adoption(std::uint32_t miner) {
+  const protocol::BlockIndex tip = views_[miner].tip();
+  tips_scratch_[miner] = tip;
+  const std::uint64_t height = views_[miner].tip_height();
+  if (height > best_height_ ||
+      (height == best_height_ && miner < best_view_)) {
+    best_height_ = height;
+    best_view_ = miner;
+    best_tip_ = tip;
   }
-  return best;
 }
 
 std::uint64_t ExecutionEngine::clamp_delay(std::uint64_t d) const noexcept {
@@ -150,17 +156,18 @@ void ExecutionEngine::schedule_echo(std::uint64_t first_receipt_round,
   if (echoed_[block]) return;
   echoed_[block] = true;
   for (std::uint32_t r = 0; r < honest_count_; ++r) {
-    queue_.schedule(first_receipt_round + config_.delta, r, block);
+    calendar_.schedule(first_receipt_round + config_.delta, r, block);
   }
 }
 
 void ExecutionEngine::deliver_due(std::uint64_t round) {
-  for (const net::Delivery& d : queue_.collect_due(round)) {
+  calendar_.drain_due(round, [this](const net::Delivery& d) {
     const AdoptionEvent event = views_[d.recipient].deliver(d.block, store_);
-    if (event.adopted && event.reorg_depth > 0) {
-      consistency_.observe_reorg(event.reorg_depth);
+    if (event.adopted) {
+      note_adoption(d.recipient);
+      if (event.reorg_depth > 0) consistency_.observe_reorg(event.reorg_depth);
     }
-  }
+  });
 }
 
 void ExecutionEngine::broadcast_honest(std::uint64_t round,
@@ -170,7 +177,7 @@ void ExecutionEngine::broadcast_honest(std::uint64_t round,
     if (r == sender) continue;
     const std::uint64_t d =
         clamp_delay(adversary_->honest_delay(round, sender, r, block));
-    queue_.schedule(round + d, r, block);
+    calendar_.schedule(round + d, r, block);
   }
   // The sender itself received the block at `round`; gossip echo from that
   // first receipt (a no-op here since every recipient is already
@@ -181,11 +188,16 @@ void ExecutionEngine::broadcast_honest(std::uint64_t round,
 
 void ExecutionEngine::honest_mining_phase(std::uint64_t round) {
   std::uint32_t mined_this_round = 0;
+  // Batched RNG: draw the round's nonces in one dense pass (identical
+  // stream order to per-query draws), then run the oracle queries.
   for (std::uint32_t m = 0; m < honest_count_; ++m) {
-    const protocol::BlockIndex parent = views_[m].tip();
-    auto mined =
-        protocol::try_mine(oracle_, target_, store_.block(parent).hash,
-                           mix64(++payload_counter_), rng_);
+    nonce_scratch_[m] = rng_.bits();
+  }
+  for (std::uint32_t m = 0; m < honest_count_; ++m) {
+    const protocol::BlockIndex parent = tips_scratch_[m];
+    auto mined = protocol::try_mine_with_nonce(
+        oracle_, target_, store_.hash_of(parent), mix64(++payload_counter_),
+        nonce_scratch_[m]);
     if (!mined) continue;
     mined->round = round;
     mined->miner = m;
@@ -197,8 +209,9 @@ void ExecutionEngine::honest_mining_phase(std::uint64_t round) {
     ++mined_this_round;
     // The miner adopts its own block immediately (it extends its tip).
     const AdoptionEvent event = views_[m].deliver(index, store_);
-    if (event.adopted && event.reorg_depth > 0) {
-      consistency_.observe_reorg(event.reorg_depth);
+    if (event.adopted) {
+      note_adoption(m);
+      if (event.reorg_depth > 0) consistency_.observe_reorg(event.reorg_depth);
     }
     adversary_->on_honest_block(round, index);
     broadcast_honest(round, m, index);
@@ -214,10 +227,9 @@ RunResult ExecutionEngine::run(const RoundObserver& observer) {
   for (std::uint64_t round = 1; round <= config_.rounds; ++round) {
     deliver_due(round);
     honest_mining_phase(round);
-    // Refresh the tip snapshot the adversary (and metrics) observe.
-    for (std::uint32_t m = 0; m < honest_count_; ++m) {
-      tips_scratch_[m] = views_[m].tip();
-    }
+    // tips_scratch_ / best_tip_ are already current: every adoption path
+    // runs through note_adoption, so the adversary and metrics read the
+    // same snapshot the old per-round rescan produced.
     if (adversary_queries_ > 0) {
       Ops ops(*this, round, adversary_queries_);
       adversary_->act(ops);

@@ -122,6 +122,12 @@ class ExecutionEngine {
   void schedule_echo(std::uint64_t first_receipt_round,
                      protocol::BlockIndex block);
   [[nodiscard]] std::uint64_t clamp_delay(std::uint64_t d) const noexcept;
+  /// Records that view `miner` adopted a new tip: refreshes the dense tip
+  /// snapshot and the running best-tip maximum, so honest_tips() and
+  /// best_honest_tip() are O(1) reads instead of per-query view scans.
+  /// The tie rule (strictly greater height, or equal height from a
+  /// lower-indexed view) reproduces the old lowest-index-wins scan.
+  void note_adoption(std::uint32_t miner);
 
   EngineConfig config_;
   std::uint32_t honest_count_;
@@ -129,7 +135,7 @@ class ExecutionEngine {
   protocol::RandomOracle oracle_;
   protocol::PowTarget target_;
   protocol::BlockStore store_;
-  net::DeliveryQueue queue_;
+  net::DeliveryCalendar calendar_;
   std::vector<MinerView> views_;
   std::unique_ptr<Adversary> adversary_;
   std::unique_ptr<Environment> environment_;
@@ -138,7 +144,15 @@ class ExecutionEngine {
   std::vector<std::uint32_t> honest_counts_;
   std::uint64_t adversary_blocks_total_ = 0;
   std::uint64_t payload_counter_ = 0;
+  /// Current tip of every honest view, maintained incrementally on each
+  /// adoption (never rescanned).
   std::vector<protocol::BlockIndex> tips_scratch_;
+  // Running maximum over tips_scratch_ (see note_adoption).
+  protocol::BlockIndex best_tip_ = protocol::kGenesisIndex;
+  std::uint64_t best_height_ = 0;
+  std::uint32_t best_view_ = 0;
+  /// One pre-drawn nonce per honest miner per round (batched RNG path).
+  std::vector<std::uint64_t> nonce_scratch_;
   std::vector<bool> echoed_;  ///< per block: gossip echo already scheduled
   bool ran_ = false;
 };

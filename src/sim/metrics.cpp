@@ -12,11 +12,17 @@ void ConsistencyTracker::observe_round(
     std::span<const protocol::BlockIndex> tips,
     const protocol::BlockStore& store) {
   // Deduplicate tips first: miners overwhelmingly share views, so the
-  // pairwise pass below runs on a handful of distinct values.
-  scratch_.assign(tips.begin(), tips.end());
-  std::sort(scratch_.begin(), scratch_.end());
-  scratch_.erase(std::unique(scratch_.begin(), scratch_.end()),
-                 scratch_.end());
+  // pairwise pass below runs on a handful of distinct values.  The dedup
+  // is a single epoch-stamped pass (first-occurrence order), not a sort —
+  // the pairwise maximum below is order-independent.
+  ++epoch_;
+  scratch_.clear();
+  for (const protocol::BlockIndex tip : tips) {
+    if (tip_epoch_.size() <= tip) tip_epoch_.resize(tip + 1, 0);
+    if (tip_epoch_[tip] == epoch_) continue;
+    tip_epoch_[tip] = epoch_;
+    scratch_.push_back(tip);
+  }
   if (scratch_.size() < 2) return;
   ++disagreement_rounds_;
   for (std::size_t i = 0; i < scratch_.size(); ++i) {
@@ -40,7 +46,7 @@ ChainMetrics measure_chain(const protocol::BlockStore& store,
                   : static_cast<double>(metrics.best_height) /
                         static_cast<double>(rounds);
   for (const protocol::BlockIndex index : store.chain_to(best_tip)) {
-    switch (store.block(index).miner_class) {
+    switch (store.miner_class_of(index)) {
       case protocol::MinerClass::kGenesis:
         break;
       case protocol::MinerClass::kHonest:
@@ -70,11 +76,13 @@ DagMetrics measure_dag(const protocol::BlockStore& store,
   std::uint64_t honest_total = 0;
   for (protocol::BlockIndex i = 1;
        i < static_cast<protocol::BlockIndex>(store.size()); ++i) {
-    const auto& b = store.block(i);
-    metrics.max_height = std::max(metrics.max_height, b.height);
-    if (width.size() < b.height) width.resize(b.height, 0);
-    ++width[b.height - 1];
-    if (b.miner_class == protocol::MinerClass::kHonest) ++honest_total;
+    const std::uint64_t height = store.height_of(i);
+    metrics.max_height = std::max(metrics.max_height, height);
+    if (width.size() < height) width.resize(height, 0);
+    ++width[height - 1];
+    if (store.miner_class_of(i) == protocol::MinerClass::kHonest) {
+      ++honest_total;
+    }
   }
   for (const std::uint64_t w : width) {
     if (w >= 2) ++metrics.fork_heights;
@@ -88,7 +96,7 @@ DagMetrics measure_dag(const protocol::BlockStore& store,
   for (protocol::BlockIndex i = 1;
        i < static_cast<protocol::BlockIndex>(store.size()); ++i) {
     if (!on_chain[i] &&
-        store.block(i).miner_class == protocol::MinerClass::kHonest) {
+        store.miner_class_of(i) == protocol::MinerClass::kHonest) {
       ++metrics.honest_off_chain;
     }
   }

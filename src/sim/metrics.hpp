@@ -49,7 +49,14 @@ class ConsistencyTracker {
   std::uint64_t max_reorg_depth_ = 0;
   std::uint64_t max_divergence_ = 0;
   std::uint64_t disagreement_rounds_ = 0;
+  /// Distinct tips of the round under observation (reused scratch).
   std::vector<protocol::BlockIndex> scratch_;
+  /// Epoch-stamped dedup: tip_epoch_[b] == epoch_ iff block b was already
+  /// seen as a tip this round.  One flat array reused every round — no
+  /// per-round sort and no clearing (bumping the epoch invalidates all
+  /// stale stamps at once).
+  std::vector<std::uint64_t> tip_epoch_;
+  std::uint64_t epoch_ = 0;
 };
 
 /// Growth and quality of the final best honest chain.

@@ -10,39 +10,53 @@ MinerView::MinerView() : tip_(protocol::kGenesisIndex) {
   known_.resize(1, true);  // genesis
 }
 
-bool MinerView::knows(protocol::BlockIndex block) const noexcept {
-  return block < known_.size() && known_[block];
-}
-
-AdoptionEvent MinerView::deliver(protocol::BlockIndex block,
-                                 const protocol::BlockStore& store) {
-  AdoptionEvent event;
-  if (knows(block)) return event;  // duplicate delivery (echo), ignore
-  const protocol::BlockIndex parent = store.block(block).parent;
+void MinerView::deliver_fresh(protocol::BlockIndex block,
+                              const protocol::BlockStore& store,
+                              AdoptionEvent& event) {
+  const protocol::BlockIndex parent = store.parent_of(block);
   if (!knows(parent)) {
-    waiting_on_[parent].push_back(block);
-    return event;
+    buffer_orphan(parent, block);
+    return;
   }
   activate_ready(block, store, event);
-  return event;
+}
+
+void MinerView::buffer_orphan(protocol::BlockIndex parent,
+                              protocol::BlockIndex block) {
+  const std::size_t needed = std::max(parent, block) + std::size_t{1};
+  if (waiting_first_.size() < needed) {
+    waiting_first_.resize(needed, kNoWaiting);
+    waiting_next_.resize(needed, kNoWaiting);
+  }
+  // Push-front; activation re-reverses, so children wake in arrival order.
+  waiting_next_[block] = waiting_first_[parent];
+  waiting_first_[parent] = block;
 }
 
 void MinerView::activate_ready(protocol::BlockIndex block,
                                const protocol::BlockStore& store,
                                AdoptionEvent& event) {
   // Iterative activation: mark known, adopt if longer, then wake orphans.
-  std::vector<protocol::BlockIndex> stack{block};
-  while (!stack.empty()) {
-    const protocol::BlockIndex current = stack.back();
-    stack.pop_back();
+  activation_stack_.clear();
+  activation_stack_.push_back(block);
+  while (!activation_stack_.empty()) {
+    const protocol::BlockIndex current = activation_stack_.back();
+    activation_stack_.pop_back();
     if (known_.size() <= current) known_.resize(current + 1, false);
     if (known_[current]) continue;
     known_[current] = true;
     consider_tip(current, store, event);
-    const auto it = waiting_on_.find(current);
-    if (it != waiting_on_.end()) {
-      stack.insert(stack.end(), it->second.begin(), it->second.end());
-      waiting_on_.erase(it);
+    if (current < waiting_first_.size()) {
+      // The list is most-recent-first; pushing it onto the LIFO worklist
+      // reverses it, so children pop in arrival order.
+      protocol::BlockIndex child = waiting_first_[current];
+      waiting_first_[current] = kNoWaiting;
+      while (child != kNoWaiting) {
+        const protocol::BlockIndex next = waiting_next_[child];
+        waiting_next_[child] = kNoWaiting;
+        activation_stack_.push_back(child);
+        child = next;
+      }
     }
   }
 }
@@ -52,12 +66,14 @@ void MinerView::consider_tip(protocol::BlockIndex candidate,
                              AdoptionEvent& event) {
   // Longest-chain rule; strict inequality implements first-received
   // tie-breaking (an equally long chain never displaces the current tip).
-  if (store.height_of(candidate) <= store.height_of(tip_)) return;
+  const std::uint64_t candidate_height = store.height_of(candidate);
+  if (candidate_height <= tip_height_) return;
   const std::uint64_t common = store.common_prefix_height(candidate, tip_);
-  const std::uint64_t abandoned = store.height_of(tip_) - common;
+  const std::uint64_t abandoned = tip_height_ - common;
   event.adopted = true;
   event.reorg_depth = std::max(event.reorg_depth, abandoned);
   tip_ = candidate;
+  tip_height_ = candidate_height;
 }
 
 }  // namespace neatbound::sim

@@ -7,10 +7,15 @@
 // its parent; such orphans are buffered and activated once their ancestry
 // is complete (an honest player cannot validate, let alone mine on, a
 // block whose chain it cannot see).
+//
+// Storage is flat and index-keyed throughout: the known-set is a bitset
+// over block indices, and the orphan buffer is an intrusive linked list
+// threaded through two lazily-grown flat vectors (first waiting child per
+// parent, next sibling per child) — no per-view hash map, no per-delivery
+// node allocation.  Waiting children activate in arrival order.
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "protocol/block_store.hpp"
@@ -30,16 +35,42 @@ class MinerView {
 
   [[nodiscard]] protocol::BlockIndex tip() const noexcept { return tip_; }
 
-  [[nodiscard]] bool knows(protocol::BlockIndex block) const noexcept;
+  /// Height of tip(), cached so the per-delivery longest-chain compare
+  /// costs one store read, not two.
+  [[nodiscard]] std::uint64_t tip_height() const noexcept {
+    return tip_height_;
+  }
+
+  [[nodiscard]] bool knows(protocol::BlockIndex block) const noexcept {
+    return block < known_.size() && known_[block];
+  }
 
   /// Delivers `block`; activates it (and any waiting descendants) if its
   /// ancestry is known, applying the longest-chain rule.  Returns the
   /// deepest reorg performed during activation (0 when the tip just
-  /// extends or does not change).
+  /// extends or does not change).  The duplicate-delivery check (gossip
+  /// echoes make duplicates the single most common delivery) stays inline
+  /// in the caller's loop.
   AdoptionEvent deliver(protocol::BlockIndex block,
-                        const protocol::BlockStore& store);
+                        const protocol::BlockStore& store) {
+    AdoptionEvent event;
+    if (knows(block)) return event;  // duplicate delivery (echo), ignore
+    deliver_fresh(block, store, event);
+    return event;
+  }
 
  private:
+  /// Intrusive-list sentinel: "no waiting child / no next sibling".
+  static constexpr protocol::BlockIndex kNoWaiting =
+      ~protocol::BlockIndex{0};
+
+  /// Out-of-line continuation of deliver() for not-yet-known blocks.
+  void deliver_fresh(protocol::BlockIndex block,
+                     const protocol::BlockStore& store,
+                     AdoptionEvent& event);
+  /// Threads `block` into its parent's waiting list (parent unknown yet).
+  void buffer_orphan(protocol::BlockIndex parent,
+                     protocol::BlockIndex block);
   /// Marks `block` known, then repeatedly activates buffered orphans
   /// whose parents became known.
   void activate_ready(protocol::BlockIndex block,
@@ -49,11 +80,16 @@ class MinerView {
                     const protocol::BlockStore& store, AdoptionEvent& event);
 
   protocol::BlockIndex tip_;
+  std::uint64_t tip_height_ = 0;  ///< height of tip_, kept in lockstep
   std::vector<bool> known_;  ///< indexed by BlockIndex, grown lazily
-  // Orphans waiting for a parent: parent index -> children delivered early.
-  std::unordered_map<protocol::BlockIndex,
-                     std::vector<protocol::BlockIndex>>
-      waiting_on_;
+  /// First waiting child per parent index; kNoWaiting when none.  Grown
+  /// only when an orphan actually arrives (honest-order delivery never
+  /// touches it).
+  std::vector<protocol::BlockIndex> waiting_first_;
+  /// Next waiting sibling per child index; parallel to waiting_first_.
+  std::vector<protocol::BlockIndex> waiting_next_;
+  /// Reused activation worklist — no allocation on the delivery hot path.
+  std::vector<protocol::BlockIndex> activation_stack_;
 };
 
 }  // namespace neatbound::sim

@@ -177,7 +177,7 @@ void BalanceAttackAdversary::act(AdversaryOps& ops) {
       // its equal-or-shorter view keeps the first-received chain).
       const protocol::BlockIndex main = branch_[0];
       const protocol::BlockIndex parent =
-          repair_.empty() ? store.block(main).parent : repair_.back();
+          repair_.empty() ? store.parent_of(main) : repair_.back();
       if (const auto mined = ops.try_mine_on(parent)) {
         repair_.push_back(*mined);
       }

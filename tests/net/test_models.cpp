@@ -1,5 +1,5 @@
 // Unit tests for the structured network models (bursty windows, eclipse
-// targeting) and the determinism contract of DeliveryQueue::collect_due.
+// targeting) and the determinism contract of DeliveryCalendar::collect_due.
 #include "net/models.hpp"
 
 #include <gtest/gtest.h>
@@ -67,14 +67,14 @@ TEST(EclipseDelivery, Validation) {
   EXPECT_THROW((void)schedule.delay(0, 0, 7, 0), ContractViolation);
 }
 
-// --- DeliveryQueue::collect_due determinism --------------------------------
+// --- DeliveryCalendar::collect_due determinism --------------------------------
 
-TEST(DeliveryQueueDeterminism, IdenticalScheduleIdenticalPopSequence) {
+TEST(DeliveryCalendarDeterminism, IdenticalScheduleIdenticalPopSequence) {
   // The same schedule() call sequence must always produce the same
   // collect_due output — engine runs are replayed bit-for-bit from a seed,
   // so any nondeterminism here would break every reproducibility test
   // upstream.  Includes heavy due-round ties (the interesting case: order
-  // within a tie comes from the heap structure, which is a deterministic
+  // within a tie is the schedule order, which is a deterministic
   // function of the insertion sequence).
   Rng rng(42);
   std::vector<Delivery> inserts;
@@ -86,7 +86,7 @@ TEST(DeliveryQueueDeterminism, IdenticalScheduleIdenticalPopSequence) {
   }
 
   const auto drain = [&inserts] {
-    DeliveryQueue queue(8);
+    DeliveryCalendar queue(8);
     for (const Delivery& d : inserts) {
       queue.schedule(d.due_round, d.recipient, d.block);
     }
@@ -108,9 +108,9 @@ TEST(DeliveryQueueDeterminism, IdenticalScheduleIdenticalPopSequence) {
   }
 }
 
-TEST(DeliveryQueueDeterminism, DueOrderIsNonDecreasingAndComplete) {
+TEST(DeliveryCalendarDeterminism, DueOrderIsNonDecreasingAndComplete) {
   Rng rng(7);
-  DeliveryQueue queue(4);
+  DeliveryCalendar queue(4);
   std::size_t scheduled = 0;
   for (int i = 0; i < 300; ++i) {
     queue.schedule(1 + rng.uniform_below(50),
@@ -127,8 +127,8 @@ TEST(DeliveryQueueDeterminism, DueOrderIsNonDecreasingAndComplete) {
   EXPECT_EQ(queue.pending(), 0u);
 }
 
-TEST(DeliveryQueueDeterminism, NothingDeliveredEarly) {
-  DeliveryQueue queue(2);
+TEST(DeliveryCalendarDeterminism, NothingDeliveredEarly) {
+  DeliveryCalendar queue(2);
   queue.schedule(10, 0, 1);
   queue.schedule(11, 1, 2);
   for (std::uint64_t round = 0; round < 10; ++round) {
