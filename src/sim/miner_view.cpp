@@ -27,7 +27,13 @@ void MinerView::buffer_orphan(protocol::BlockIndex parent,
   if (waiting_first_.size() < needed) {
     waiting_first_.resize(needed, kNoWaiting);
     waiting_next_.resize(needed, kNoWaiting);
+    buffered_.resize(needed, false);
   }
+  // A still-buffered orphan can be delivered again (adversarial re-send or
+  // gossip echo while the parent is withheld); it is already threaded into
+  // its parent's list, and re-threading would sever the tail behind it.
+  if (buffered_[block]) return;
+  buffered_[block] = true;
   // Push-front; activation re-reverses, so children wake in arrival order.
   waiting_next_[block] = waiting_first_[parent];
   waiting_first_[parent] = block;
@@ -54,6 +60,7 @@ void MinerView::activate_ready(protocol::BlockIndex block,
       while (child != kNoWaiting) {
         const protocol::BlockIndex next = waiting_next_[child];
         waiting_next_[child] = kNoWaiting;
+        buffered_[child] = false;
         activation_stack_.push_back(child);
         child = next;
       }

@@ -82,6 +82,12 @@ class MinerView {
   protocol::BlockIndex tip_;
   std::uint64_t tip_height_ = 0;  ///< height of tip_, kept in lockstep
   std::vector<bool> known_;  ///< indexed by BlockIndex, grown lazily
+  /// Blocks currently threaded into a waiting list.  Guards against
+  /// duplicate delivery of a still-buffered orphan (its duplicate passes
+  /// the knows() check): re-threading would overwrite waiting_next_ and
+  /// sever the rest of the parent's list.  Grown only with the waiting
+  /// vectors, so honest-order delivery never touches it.
+  std::vector<bool> buffered_;
   /// First waiting child per parent index; kNoWaiting when none.  Grown
   /// only when an orphan actually arrives (honest-order delivery never
   /// touches it).

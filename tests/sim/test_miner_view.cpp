@@ -113,6 +113,48 @@ TEST(MinerView, DuplicateDeliveryIgnored) {
   EXPECT_EQ(view.tip(), a);
 }
 
+// Duplicate delivery of a *still-buffered* orphan passes the knows()
+// check, so buffer_orphan must not re-thread it: doing so would sever
+// the sibling linked behind it in the parent's waiting list.  The
+// adversary can trigger this by re-sending a withheld child while its
+// parent is still unknown.
+TEST(MinerView, DuplicateBufferedOrphanKeepsWaitingSibling) {
+  BlockStore store;
+  MinerView view;
+  const BlockIndex p = append(store, kGenesisIndex, 1);
+  const BlockIndex s = append(store, p, 2);
+  const BlockIndex b = append(store, p, 3);
+  view.deliver(s, store);  // buffers: p -> [s]
+  view.deliver(b, store);  // buffers: p -> [b, s]
+  view.deliver(b, store);  // duplicate of list head: must be a no-op
+  view.deliver(p, store);  // parent arrives: both children activate
+  EXPECT_TRUE(view.knows(p));
+  EXPECT_TRUE(view.knows(b));
+  EXPECT_TRUE(view.knows(s));
+}
+
+TEST(MinerView, DuplicateBufferedOrphanAtListTailIsNoOp) {
+  BlockStore store;
+  MinerView view;
+  const BlockIndex p = append(store, kGenesisIndex, 1);
+  const BlockIndex s = append(store, p, 2);
+  const BlockIndex b = append(store, p, 3);
+  view.deliver(s, store);  // buffers: p -> [s]
+  view.deliver(b, store);  // buffers: p -> [b, s]
+  view.deliver(s, store);  // duplicate of list tail: must not cycle/drop
+  view.deliver(p, store);
+  EXPECT_TRUE(view.knows(b));
+  EXPECT_TRUE(view.knows(s));
+  // Orphans buffered again after activation behave normally.
+  const BlockIndex c = append(store, b, 4);
+  const BlockIndex d = append(store, c, 5);
+  view.deliver(d, store);
+  EXPECT_FALSE(view.knows(d));
+  view.deliver(c, store);
+  EXPECT_TRUE(view.knows(c));
+  EXPECT_TRUE(view.knows(d));
+}
+
 TEST(MinerView, ShorterChainNeverAdopted) {
   BlockStore store;
   MinerView view;
