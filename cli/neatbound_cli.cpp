@@ -3,11 +3,20 @@
 //   neatbound_cli run <scenario.json> [--threads N] [--csv P] [--json P]
 //                  [--miners N] [--nu X] [--delta N] [--rounds N]
 //                  [--seeds N] [--base-seed N] [--violation-t N]
+//                  [--checkpoint P] [--resume] [--stop-after-waves N]
 //       loads a scenario file, builds the sweep grid and executes every
 //       (cell × seed) engine run on one work pool, reporting through the
 //       same stdout/CSV/JSON sink stack the benches use.  The override
 //       flags replace the spec's engine defaults (axes still win per
 //       point) — the CI smoke job uses them to downsize bundled specs.
+//       Specs with an "adaptive" block (and any run given --checkpoint /
+//       --resume) execute through the adaptive sequential-stopping
+//       sweep: --checkpoint snapshots every cell's accumulators after
+//       each scheduling wave, --resume picks a matching snapshot back up
+//       without recomputation, and --stop-after-waves N interrupts
+//       deterministically after N waves (exit status 3) — the hook CI's
+//       kill-and-resume round trip uses.  A resumed run's summary is
+//       bit-identical to an uninterrupted one.
 //
 //   neatbound_cli list [--scenarios DIR]
 //       prints every registered network model and adversary strategy
@@ -92,6 +101,18 @@ int run_command(int argc, char** argv) {
       "base-seed", "override base seed (spec value otherwise)");
   overrides.violation_t = args.get_opt_uint(
       "violation-t", "override consistency depth T (spec value otherwise)");
+  scenario::ScenarioRunOptions run_options;
+  run_options.checkpoint_path = args.get_string(
+      "checkpoint", "", "snapshot accumulators here after every wave");
+  if (run_options.checkpoint_path == "true") {
+    std::cerr << "neatbound_cli run: --checkpoint expects a path\n";
+    return 2;
+  }
+  run_options.resume = args.get_bool(
+      "resume", false, "resume the --checkpoint file if it exists");
+  run_options.stop_after_waves = static_cast<std::uint32_t>(args.get_uint(
+      "stop-after-waves", 0,
+      "interrupt after N scheduling waves, exit 3 (0 = run to the end)"));
   const exp::BenchOptions io = exp::parse_bench_options(args);
   if (args.handle_help(std::cout)) return 0;
   if (!has_path) {
@@ -99,6 +120,18 @@ int run_command(int argc, char** argv) {
     return usage(std::cerr, 2);
   }
   args.reject_unconsumed();
+  run_options.threads = io.threads;
+  if (run_options.resume && run_options.checkpoint_path.empty()) {
+    std::cerr << "neatbound_cli run: --resume needs --checkpoint PATH\n";
+    return 2;
+  }
+  if (run_options.stop_after_waves != 0 &&
+      run_options.checkpoint_path.empty()) {
+    // Interrupting without a snapshot would just discard the work.
+    std::cerr
+        << "neatbound_cli run: --stop-after-waves needs --checkpoint PATH\n";
+    return 2;
+  }
 
   scenario::ScenarioSpec spec = scenario::load_scenario_file(path);
   scenario::apply_overrides(spec, overrides);
@@ -107,13 +140,49 @@ int run_command(int argc, char** argv) {
   if (!spec.title.empty()) std::cout << " — " << spec.title;
   std::cout << "\n# adversary: " << spec.adversary.kind
             << ", network: " << spec.network.kind << ", grid "
-            << spec.grid_size() << " cells x " << spec.seeds << " seeds\n";
+            << spec.grid_size() << " cells x ";
+  if (spec.adaptive) {
+    std::cout << spec.adaptive->min_seeds << ".." << spec.adaptive->max_seeds
+              << " seeds (adaptive, half-width "
+              << spec.adaptive->half_width << ")\n";
+  } else {
+    std::cout << spec.seeds << " seeds\n";
+  }
+
+  // Any checkpoint/resume/interrupt request routes through the adaptive
+  // sweep; a spec without an "adaptive" block runs its fixed budget
+  // there (bit-identical summaries), so checkpointing is universal.
+  const bool adaptive_path = spec.adaptive.has_value() ||
+                             !run_options.checkpoint_path.empty() ||
+                             run_options.stop_after_waves != 0;
 
   exp::BenchReporter report(spec.name, io);
   scenario::stamp_meta(spec, report);
-  const std::vector<exp::SweepCell> cells = scenario::run_scenario(
-      spec, scenario::ScenarioRegistry::builtin(), {.threads = io.threads});
-  scenario::render_report(spec, cells, report);
+  const auto& registry = scenario::ScenarioRegistry::builtin();
+  if (!adaptive_path) {
+    const std::vector<exp::SweepCell> cells =
+        scenario::run_scenario(spec, registry, run_options);
+    scenario::render_report(spec, cells, report);
+    report.finish();
+    return 0;
+  }
+
+  const exp::AdaptiveSweepResult result =
+      scenario::run_scenario_adaptive(spec, registry, run_options);
+  report.set_meta_number("engine_runs",
+                         static_cast<double>(result.engine_runs));
+  report.set_meta_number("waves", static_cast<double>(result.waves));
+  if (!result.complete) {
+    // Interrupted by --stop-after-waves: the checkpoint (if any) holds
+    // the partial state; no report rows — the resumed run renders them.
+    report.set_meta_number("interrupted", 1.0);
+    report.finish();
+    std::cout << "# interrupted after " << result.waves
+              << " wave(s); resume with --checkpoint "
+              << run_options.checkpoint_path << " --resume\n";
+    return 3;
+  }
+  scenario::render_adaptive_report(spec, result.cells, report);
   report.finish();
   return 0;
 }
@@ -188,11 +257,24 @@ int describe_command(int argc, char** argv) {
   std::cout << "experiment:  seeds=" << spec.seeds
             << " base_seed=" << spec.base_seed
             << " violation_t=" << spec.violation_t << "\n";
+  if (spec.adaptive) {
+    std::cout << "adaptive:    min_seeds=" << spec.adaptive->min_seeds
+              << " batch=" << spec.adaptive->batch
+              << " max_seeds=" << spec.adaptive->max_seeds
+              << " half_width=" << spec.adaptive->half_width
+              << " confidence=" << spec.adaptive->confidence << "\n";
+  }
   std::cout << "adversary:   " << spec.adversary.kind << "\n";
   std::cout << "network:     " << spec.network.kind << "\n";
   std::cout << "axes:        " << spec.axes.size() << " (grid "
-            << spec.grid_size() << " cells, " << spec.grid_size() * spec.seeds
-            << " engine runs)\n";
+            << spec.grid_size() << " cells, ";
+  if (spec.adaptive) {
+    std::cout << spec.grid_size() * spec.adaptive->min_seeds << ".."
+              << spec.grid_size() * spec.adaptive->max_seeds
+              << " engine runs, adaptive)\n";
+  } else {
+    std::cout << spec.grid_size() * spec.seeds << " engine runs)\n";
+  }
   for (const scenario::AxisSpec& axis : spec.axes) {
     std::cout << "  " << axis.name << ": [";
     for (std::size_t i = 0; i < axis.values.size(); ++i) {

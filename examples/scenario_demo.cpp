@@ -69,8 +69,10 @@ int main(int argc, char** argv) {
             << spec.grid_size() << " cells x " << spec.seeds << " seeds, T="
             << spec.rounds << "\n";
 
+  scenario::ScenarioRunOptions run_options;
+  run_options.threads = threads;
   const auto cells = scenario::run_scenario(
-      spec, scenario::ScenarioRegistry::builtin(), {.threads = threads});
+      spec, scenario::ScenarioRegistry::builtin(), run_options);
   exp::TableSink table(std::cout);
   scenario::render_report(spec, cells, table);
   table.finish();

@@ -5,7 +5,8 @@ Checks, from the repo root (or --root):
   1. every `docs/<name>.md` referenced from README.md exists on disk;
   2. every file in docs/ is referenced from README.md (no orphan docs);
   3. every relative markdown link inside docs/*.md resolves to a real
-     file in the repository.
+     file in the repository;
+  4. every relative markdown link in README.md itself resolves too.
 
 Exit status 1 with a per-violation message on any failure.
 """
@@ -40,7 +41,7 @@ def main() -> int:
     for doc in sorted(on_disk - referenced):
         failures.append(f"{doc} exists but README.md never references it")
 
-    for doc in sorted(docs_dir.glob("*.md")):
+    for doc in sorted(docs_dir.glob("*.md")) + [readme]:
         for target in MD_LINK.findall(doc.read_text(encoding="utf-8")):
             if "://" in target or target.startswith("mailto:"):
                 continue

@@ -1,13 +1,15 @@
 #!/usr/bin/env python3
-"""Fail when engine throughput regressed against the checked-in baseline.
+"""Fail when engine throughput regressed against the recorded baseline.
 
 Usage:
-    check_perf_regression.py BASELINE_JSON CURRENT_JSON [--max-regression F]
+    check_perf_regression.py BASELINE CURRENT_JSON [--max-regression F]
 
-Both files are bench_engine_throughput JSON summaries (see
-scripts/perf_baseline).  The comparison is on meta.rounds_per_sec — a
-rate, so the current run may be downsized (fewer rounds/seeds) relative
-to the baseline.  Exit status 1 when
+CURRENT_JSON is a bench_engine_throughput JSON summary (see
+scripts/perf_baseline).  BASELINE is either another such summary
+(e.g. BENCH_engine.json) or a BENCH_history.jsonl trajectory, in which
+case the *latest* entry's rounds_per_sec is the reference.  The
+comparison is on a rate, so the current run may be downsized (fewer
+rounds/seeds) relative to the baseline.  Exit status 1 when
 
     current_rounds_per_sec < baseline_rounds_per_sec * (1 - F)
 
@@ -20,13 +22,31 @@ import json
 import sys
 
 
-def rounds_per_sec(path: str) -> float:
+def latest_history_entry(path: str) -> dict:
+    entries = []
     with open(path, encoding="utf-8") as fh:
-        doc = json.load(fh)
+        for line in fh:
+            line = line.strip()
+            if line:
+                entries.append(json.loads(line))
+    if not entries:
+        raise SystemExit(f"{path}: empty history file")
+    return entries[-1]
+
+
+def rounds_per_sec(path: str) -> float:
     try:
-        value = float(doc["meta"]["rounds_per_sec"])
+        if path.endswith(".jsonl"):
+            entry = latest_history_entry(path)
+            value = float(entry["rounds_per_sec"])
+            print(f"{path}: latest entry {entry.get('sha', '?')[:12]} "
+                  f"({entry.get('date', '?')})")
+        else:
+            with open(path, encoding="utf-8") as fh:
+                doc = json.load(fh)
+            value = float(doc["meta"]["rounds_per_sec"])
     except (KeyError, TypeError, ValueError) as exc:
-        raise SystemExit(f"{path}: missing/invalid meta.rounds_per_sec: {exc}")
+        raise SystemExit(f"{path}: missing/invalid rounds_per_sec: {exc}")
     if value <= 0:
         raise SystemExit(f"{path}: non-positive rounds_per_sec {value}")
     return value

@@ -23,6 +23,9 @@ namespace neatbound::exp {
 /// valid after the grid they came from is gone.
 class GridPoint {
  public:
+  /// An empty point (no axes, index 0) — the placeholder value adaptive
+  /// cell states start from before a real point is assigned.
+  GridPoint() = default;
   GridPoint(std::vector<std::string> names, std::size_t index,
             std::vector<double> values);
 
@@ -37,7 +40,7 @@ class GridPoint {
 
  private:
   std::vector<std::string> names_;
-  std::size_t index_;
+  std::size_t index_ = 0;
   std::vector<double> values_;
 };
 

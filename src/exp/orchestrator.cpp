@@ -54,15 +54,18 @@ std::vector<SweepCell> run_sweep_with(const SweepGrid& grid,
   return out;
 }
 
+SweepAdversaryFactory default_sweep_adversary_factory() {
+  return [](const sim::ExperimentConfig& config,
+            const sim::EngineConfig& engine_config) {
+    return sim::make_default_adversary(config.adversary, engine_config);
+  };
+}
+
 std::vector<SweepCell> run_sweep(const SweepGrid& grid,
                                  const ConfigBuilder& build,
                                  const SweepOptions& options) {
-  return run_sweep_with(
-      grid, build, options,
-      [](const sim::ExperimentConfig& config,
-         const sim::EngineConfig& engine_config) {
-        return sim::make_default_adversary(config.adversary, engine_config);
-      });
+  return run_sweep_with(grid, build, options,
+                        default_sweep_adversary_factory());
 }
 
 }  // namespace neatbound::exp

@@ -33,6 +33,13 @@ using ConfigBuilder =
 using SweepAdversaryFactory = std::function<std::unique_ptr<sim::Adversary>(
     const sim::ExperimentConfig&, const sim::EngineConfig&)>;
 
+/// The factory the *_with-less entry points use: each cell's adversary
+/// built from its config.adversary kind via the runner's default
+/// construction.  Shared by run_sweep, run_sweep_adaptive and
+/// localize_frontier so default adversary wiring cannot diverge between
+/// the plain and adaptive paths.
+[[nodiscard]] SweepAdversaryFactory default_sweep_adversary_factory();
+
 struct SweepOptions {
   std::uint64_t violation_t = 8;  ///< consistency predicate depth
   unsigned threads = 0;           ///< workers; 0 = hardware concurrency

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "exp/checkpoint.hpp"
+
 namespace neatbound::scenario {
 
 Params Params::from_object(const JsonValue& object,
@@ -72,6 +74,23 @@ bool Params::get_bool(const std::string& name, bool default_value) const {
 
 bool Params::has(const std::string& name) const {
   return lookup(name) != nullptr;
+}
+
+std::string Params::fingerprint_text() const {
+  std::string out;
+  for (const auto& [key, value] : values_) {
+    out += key;
+    out += '=';
+    if (value.is_number()) {
+      out += exp::exact_double_repr(value.as_number());
+    } else if (value.is_bool()) {
+      out += value.as_bool() ? "true" : "false";
+    } else {
+      out += value.as_string();
+    }
+    out += ';';
+  }
+  return out;
 }
 
 void Params::verify_only(const std::vector<std::string>& known,

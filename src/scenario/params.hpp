@@ -41,6 +41,11 @@ class Params {
   [[nodiscard]] bool has(const std::string& name) const;
   [[nodiscard]] bool empty() const noexcept { return values_.empty(); }
 
+  /// Canonical "key=value;" rendering of every entry in file order —
+  /// the piece of a component's identity that adaptive-sweep checkpoint
+  /// fingerprints fold in (numbers at full %.17g precision).
+  [[nodiscard]] std::string fingerprint_text() const;
+
   /// Throws std::runtime_error naming every provided key that is not in
   /// `known`.  `where` prefixes the message ("adversary 'x'", …).
   void verify_only(const std::vector<std::string>& known,

@@ -49,7 +49,25 @@ double stat_aggregate(const stats::RunningStats& stat,
 CellContext::CellContext(const ScenarioSpec& spec, const exp::SweepCell& cell)
     : spec_(spec), cell_(cell) {}
 
+CellContext::CellContext(const ScenarioSpec& spec,
+                         const exp::AdaptiveCell& cell)
+    : spec_(spec), cell_(cell.cell), adaptive_(&cell) {}
+
 double CellContext::value(const std::string& name) const {
+  if (name == "seeds_used" || name == "violations" || name == "ci_low" ||
+      name == "ci_high") {
+    if (adaptive_ == nullptr) {
+      throw std::runtime_error("report value \"" + name +
+                               "\": only resolvable in adaptive runs");
+    }
+    if (name == "seeds_used") {
+      return static_cast<double>(adaptive_->seeds_used);
+    }
+    if (name == "violations") {
+      return static_cast<double>(adaptive_->violations);
+    }
+    return name == "ci_low" ? adaptive_->ci.lo : adaptive_->ci.hi;
+  }
   // "<stat>.<agg>" — summary statistics.
   if (const std::size_t dot = name.find('.'); dot != std::string::npos) {
     const std::string field = name.substr(0, dot);
@@ -98,7 +116,8 @@ double CellContext::value(const std::string& name) const {
   throw std::runtime_error(
       "report value \"" + name +
       "\": not an axis, engine parameter (miners|nu|delta|rounds|p|seeds), "
-      "derived value (bound|c|multiple) or \"<stat>.<aggregate>\"");
+      "derived value (bound|c|multiple), adaptive verdict "
+      "(seeds_used|violations|ci_low|ci_high) or \"<stat>.<aggregate>\"");
 }
 
 std::string format_label(const std::string& label_template,
@@ -160,12 +179,28 @@ std::vector<ColumnSpec> default_columns(const ScenarioSpec& spec) {
   columns.push_back({"chain quality", "chain_quality.mean", 3});
   columns.push_back({"honest blocks", "honest_blocks.mean", 1});
   columns.push_back({"adversary blocks", "adversary_blocks.mean", 1});
+  if (spec.adaptive) {
+    columns.push_back({"seeds used", "seeds_used", 0});
+    columns.push_back({"ci low", "ci_low", 4});
+    columns.push_back({"ci high", "ci_high", 4});
+  }
   return columns;
 }
 
-void render_report(const ScenarioSpec& spec,
-                   const std::vector<exp::SweepCell>& cells,
-                   exp::ResultSink& sink) {
+namespace {
+
+const exp::GridPoint& point_of(const exp::SweepCell& cell) {
+  return cell.point;
+}
+const exp::GridPoint& point_of(const exp::AdaptiveCell& cell) {
+  return cell.cell.point;
+}
+
+/// Shared sectioning/column loop; Cell is SweepCell or AdaptiveCell
+/// (CellContext is constructible from both).
+template <typename Cell>
+void render_cells(const ScenarioSpec& spec, const std::vector<Cell>& cells,
+                  exp::ResultSink& sink) {
   const std::vector<ColumnSpec> columns =
       spec.report.columns.empty() ? default_columns(spec)
                                   : spec.report.columns;
@@ -175,7 +210,7 @@ void render_report(const ScenarioSpec& spec,
 
   bool section_open = false;
   double section_value = 0.0;
-  for (const exp::SweepCell& cell : cells) {
+  for (const Cell& cell : cells) {
     const CellContext context(spec, cell);
     if (spec.report.section_by.empty()) {
       if (!section_open) {
@@ -183,7 +218,7 @@ void render_report(const ScenarioSpec& spec,
         section_open = true;
       }
     } else {
-      const double current = cell.point.value(spec.report.section_by);
+      const double current = point_of(cell).value(spec.report.section_by);
       if (!section_open || current != section_value) {
         sink.begin_section(format_label(spec.report.section_label, context),
                            headers);
@@ -199,6 +234,20 @@ void render_report(const ScenarioSpec& spec,
     }
     sink.add_row(row);
   }
+}
+
+}  // namespace
+
+void render_report(const ScenarioSpec& spec,
+                   const std::vector<exp::SweepCell>& cells,
+                   exp::ResultSink& sink) {
+  render_cells(spec, cells, sink);
+}
+
+void render_adaptive_report(const ScenarioSpec& spec,
+                            const std::vector<exp::AdaptiveCell>& cells,
+                            exp::ResultSink& sink) {
+  render_cells(spec, cells, sink);
 }
 
 }  // namespace neatbound::scenario

@@ -6,6 +6,11 @@
 //   * miners | nu | delta | rounds | p | seeds
 //                             → the cell's resolved engine/experiment
 //                               config (axis overrides already applied);
+//   * seeds_used | violations | ci_low | ci_high
+//                             → adaptive-run verdicts (runs actually
+//                               spent, violating runs, Wilson interval
+//                               ends); only resolvable for cells that
+//                               came from the adaptive path;
 //   * bound | c | multiple    → hardness-derived: bound = neat_bound_c(nu),
 //                               c the cell's effective chain-speed ratio,
 //                               multiple = c / bound;
@@ -23,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "exp/adaptive.hpp"
 #include "exp/orchestrator.hpp"
 #include "exp/sinks.hpp"
 #include "scenario/spec.hpp"
@@ -33,6 +39,9 @@ namespace neatbound::scenario {
 class CellContext {
  public:
   CellContext(const ScenarioSpec& spec, const exp::SweepCell& cell);
+  /// Adaptive variant: additionally resolves seeds_used | violations |
+  /// ci_low | ci_high from the adaptive verdict.
+  CellContext(const ScenarioSpec& spec, const exp::AdaptiveCell& cell);
 
   /// Resolves a column/label name; throws std::runtime_error with the
   /// list of resolvable categories when the name is unknown.
@@ -41,6 +50,7 @@ class CellContext {
  private:
   const ScenarioSpec& spec_;
   const exp::SweepCell& cell_;
+  const exp::AdaptiveCell* adaptive_ = nullptr;  ///< optional verdict
 };
 
 /// Substitutes "{name:decimals}" holes; see file comment.
@@ -48,7 +58,9 @@ class CellContext {
                                        const CellContext& context);
 
 /// The columns a report without an explicit "columns" list gets: every
-/// axis, then the core consistency/quality statistics.
+/// axis, then the core consistency/quality statistics.  When the spec
+/// has an adaptive block, the adaptive verdict columns (seeds used,
+/// ci_low, ci_high) are appended.
 [[nodiscard]] std::vector<ColumnSpec> default_columns(
     const ScenarioSpec& spec);
 
@@ -58,5 +70,11 @@ class CellContext {
 void render_report(const ScenarioSpec& spec,
                    const std::vector<exp::SweepCell>& cells,
                    exp::ResultSink& sink);
+
+/// Adaptive-run variant: same sectioning/column machinery, with the
+/// per-cell adaptive verdicts resolvable as column values.
+void render_adaptive_report(const ScenarioSpec& spec,
+                            const std::vector<exp::AdaptiveCell>& cells,
+                            exp::ResultSink& sink);
 
 }  // namespace neatbound::scenario

@@ -1,5 +1,6 @@
 #include "scenario/runner.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "bounds/zhao.hpp"
@@ -12,7 +13,18 @@ void apply_overrides(ScenarioSpec& spec, const SpecOverrides& overrides) {
   if (overrides.nu) spec.nu = *overrides.nu;
   if (overrides.delta) spec.delta = *overrides.delta;
   if (overrides.rounds) spec.rounds = *overrides.rounds;
-  if (overrides.seeds) spec.seeds = *overrides.seeds;
+  if (overrides.seeds) {
+    spec.seeds = *overrides.seeds;
+    // Downsizing an adaptive spec must actually cap its budget: --seeds
+    // becomes the max, and min/batch are clamped under it.
+    if (spec.adaptive) {
+      spec.adaptive->max_seeds = *overrides.seeds;
+      spec.adaptive->min_seeds =
+          std::min(spec.adaptive->min_seeds, spec.adaptive->max_seeds);
+      spec.adaptive->batch =
+          std::min(spec.adaptive->batch, spec.adaptive->max_seeds);
+    }
+  }
   if (overrides.base_seed) spec.base_seed = *overrides.base_seed;
   if (overrides.violation_t) spec.violation_t = *overrides.violation_t;
 }
@@ -98,6 +110,59 @@ std::vector<exp::SweepCell> run_scenario(const ScenarioSpec& spec,
   return exp::run_sweep_with(
       grid, build,
       {.violation_t = spec.violation_t, .threads = options.threads}, factory);
+}
+
+exp::AdaptiveOptions resolve_adaptive_options(
+    const ScenarioSpec& spec, const ScenarioRunOptions& options) {
+  exp::AdaptiveOptions adaptive;
+  if (spec.adaptive) {
+    adaptive.min_seeds = spec.adaptive->min_seeds;
+    adaptive.batch = spec.adaptive->batch;
+    adaptive.max_seeds = spec.adaptive->max_seeds;
+    adaptive.half_width = spec.adaptive->half_width;
+    adaptive.confidence = spec.adaptive->confidence;
+  } else {
+    // Fixed-budget degenerate schedule: one wave of exactly spec.seeds
+    // runs per cell, never stopping early — the summaries are
+    // bit-identical to run_scenario, checkpointing comes for free.
+    adaptive.min_seeds = spec.seeds;
+    adaptive.batch = spec.seeds;
+    adaptive.max_seeds = spec.seeds;
+    adaptive.half_width = 0.0;
+  }
+  adaptive.checkpoint_path = options.checkpoint_path;
+  adaptive.resume = options.resume;
+  adaptive.stop_after_waves = options.stop_after_waves;
+  // The automatic fingerprint only sees engine configs; the registry
+  // components (and their parameters) decide what those configs *run*,
+  // so they are part of the sweep's identity too.
+  adaptive.fingerprint_context =
+      "adversary:" + spec.adversary.kind + "{" +
+      spec.adversary.params.fingerprint_text() + "}network:" +
+      spec.network.kind + "{" + spec.network.params.fingerprint_text() + "}";
+  return adaptive;
+}
+
+exp::AdaptiveSweepResult run_scenario_adaptive(
+    const ScenarioSpec& spec, const ScenarioRegistry& registry,
+    const ScenarioRunOptions& options) {
+  const exp::SweepGrid grid = build_grid(spec);
+  validate_components(spec, registry);
+
+  const auto build = [&spec](const exp::GridPoint& point) {
+    return build_config(spec, point);
+  };
+  const auto factory = [&spec, &registry](
+                           const sim::ExperimentConfig&,
+                           const sim::EngineConfig& engine_config) {
+    return registry.make_adversary(spec.network.kind, spec.network.params,
+                                   spec.adversary.kind,
+                                   spec.adversary.params, engine_config);
+  };
+  return exp::run_sweep_adaptive_with(
+      grid, build,
+      {.violation_t = spec.violation_t, .threads = options.threads},
+      resolve_adaptive_options(spec, options), factory);
 }
 
 void stamp_meta(const ScenarioSpec& spec, exp::BenchReporter& reporter) {

@@ -12,8 +12,10 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <vector>
 
+#include "exp/adaptive.hpp"
 #include "exp/orchestrator.hpp"
 #include "scenario/registry.hpp"
 #include "scenario/spec.hpp"
@@ -50,6 +52,13 @@ void apply_overrides(ScenarioSpec& spec, const SpecOverrides& overrides);
 
 struct ScenarioRunOptions {
   unsigned threads = 0;  ///< sweep pool workers; 0 = hardware concurrency
+  /// Checkpoint file for the adaptive path ("" = no checkpointing); see
+  /// exp/checkpoint.hpp for the exactness contract.
+  std::string checkpoint_path;
+  bool resume = false;  ///< resume checkpoint_path if it exists
+  /// Interrupt deterministically after N scheduling waves (0 = run to
+  /// completion) — the CI/resume-test hook, surfaced by the CLI.
+  std::uint32_t stop_after_waves = 0;
 };
 
 /// Fail-fast validation shared by run/describe: resolves the first grid
@@ -63,6 +72,23 @@ void validate_components(const ScenarioSpec& spec,
 /// registry up front (before any engine spawns), then every (cell × seed)
 /// job builds its adversary through the registry.
 [[nodiscard]] std::vector<exp::SweepCell> run_scenario(
+    const ScenarioSpec& spec, const ScenarioRegistry& registry,
+    const ScenarioRunOptions& options);
+
+/// The exp::AdaptiveOptions a spec resolves to: the spec's "adaptive"
+/// block when present, otherwise the fixed-budget degenerate schedule
+/// (min = batch = max = spec.seeds, half_width 0 — bit-identical
+/// summaries to run_scenario) so checkpointing works under plain specs
+/// too.  Checkpoint/resume/interrupt fields come from `options`.
+[[nodiscard]] exp::AdaptiveOptions resolve_adaptive_options(
+    const ScenarioSpec& spec, const ScenarioRunOptions& options);
+
+/// Adaptive/checkpointed variant of run_scenario: same grid, configs,
+/// registry-built adversaries and validation, executed through
+/// exp::run_sweep_adaptive_with.  result.complete is false when
+/// options.stop_after_waves interrupted the sweep (the checkpoint, if
+/// any, holds the partial state).
+[[nodiscard]] exp::AdaptiveSweepResult run_scenario_adaptive(
     const ScenarioSpec& spec, const ScenarioRegistry& registry,
     const ScenarioRunOptions& options);
 

@@ -74,6 +74,39 @@ std::vector<AxisSpec> parse_axes(const JsonValue& axes) {
   return out;
 }
 
+AdaptiveSpec parse_adaptive(const JsonValue& adaptive) {
+  reject_unknown_keys(
+      adaptive,
+      {"min_seeds", "batch", "max_seeds", "half_width", "confidence"},
+      "adaptive");
+  AdaptiveSpec out;
+  out.min_seeds = static_cast<std::uint32_t>(
+      uint_or(adaptive, "min_seeds", out.min_seeds));
+  out.batch = static_cast<std::uint32_t>(uint_or(adaptive, "batch",
+                                                 out.batch));
+  out.max_seeds = static_cast<std::uint32_t>(
+      uint_or(adaptive, "max_seeds", out.max_seeds));
+  out.half_width = number_or(adaptive, "half_width", out.half_width);
+  out.confidence = number_or(adaptive, "confidence", out.confidence);
+  if (out.min_seeds == 0) {
+    throw std::runtime_error("adaptive: \"min_seeds\" must be >= 1");
+  }
+  if (out.batch == 0) {
+    throw std::runtime_error("adaptive: \"batch\" must be >= 1");
+  }
+  if (out.max_seeds < out.min_seeds) {
+    throw std::runtime_error(
+        "adaptive: \"max_seeds\" must be >= \"min_seeds\"");
+  }
+  if (out.half_width < 0.0) {
+    throw std::runtime_error("adaptive: \"half_width\" must be >= 0");
+  }
+  if (out.confidence <= 0.0 || out.confidence >= 1.0) {
+    throw std::runtime_error("adaptive: \"confidence\" must be in (0,1)");
+  }
+  return out;
+}
+
 ReportSpec parse_report(const JsonValue& report) {
   reject_unknown_keys(report, {"section_by", "section_label", "columns"},
                       "report");
@@ -119,7 +152,7 @@ ScenarioSpec parse_scenario(const JsonValue& document) {
   reject_unknown_keys(document,
                       {"name", "title", "description", "engine", "axes",
                        "hardness", "seeds", "base_seed", "violation_t",
-                       "adversary", "network", "report", "meta"},
+                       "adaptive", "adversary", "network", "report", "meta"},
                       "scenario");
   ScenarioSpec spec;
   spec.name = document.at("name").as_string();
@@ -170,6 +203,10 @@ ScenarioSpec parse_scenario(const JsonValue& document) {
   }
   spec.base_seed = uint_or(document, "base_seed", spec.base_seed);
   spec.violation_t = uint_or(document, "violation_t", spec.violation_t);
+
+  if (const JsonValue* adaptive = document.find("adaptive")) {
+    spec.adaptive = parse_adaptive(*adaptive);
+  }
 
   if (const JsonValue* adversary = document.find("adversary")) {
     spec.adversary =

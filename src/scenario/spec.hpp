@@ -13,6 +13,8 @@
 //              {"name": "multiple", "values": [0.4, 1.0]}],
 //     "hardness": {"mode": "neat-bound-multiple"},  // how p is derived
 //     "seeds": 6, "base_seed": 12345, "violation_t": 8,
+//     "adaptive": {"min_seeds": 4, "batch": 4, "max_seeds": 64,
+//                  "half_width": 0.05, "confidence": 0.95},  // optional
 //     "adversary": {"strategy": "private-withhold", "min_fork_depth": 2},
 //     "network": {"model": "strategy"},
 //     "report": {"section_by": "nu",
@@ -39,11 +41,20 @@
 //                             operation for operation, so a scenario run
 //                             is bit-identical to the hand-written bench.
 //
+// An "adaptive" block switches the run from the fixed per-cell seed
+// budget to confidence-interval-driven sequential stopping (see
+// exp/adaptive.hpp): every cell starts with min_seeds engine runs and
+// receives `batch` more per wave until the Wilson interval on
+// P[violation depth > T] at `confidence` is narrower than 2·half_width,
+// or max_seeds is reached.  Without the block, "seeds" is the fixed
+// budget exactly as before.
+//
 // Unknown keys anywhere are an error: scenario files never silently
 // ignore a typo.
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -66,6 +77,16 @@ struct ColumnSpec {
   std::string header;  ///< table column header (defaults to `value`)
   std::string value;   ///< cell source: axis, derived or "<stat>.<agg>"
   int decimals = 3;    ///< format_fixed precision
+};
+
+/// Sequential-stopping schedule (the "adaptive" block); values mirror
+/// exp::AdaptiveOptions.
+struct AdaptiveSpec {
+  std::uint32_t min_seeds = 4;
+  std::uint32_t batch = 4;
+  std::uint32_t max_seeds = 64;
+  double half_width = 0.05;
+  double confidence = 0.95;
 };
 
 struct ReportSpec {
@@ -96,6 +117,7 @@ struct ScenarioSpec {
   std::uint32_t seeds = 8;
   std::uint64_t base_seed = 12345;
   std::uint64_t violation_t = 8;
+  std::optional<AdaptiveSpec> adaptive;  ///< sequential stopping when set
 
   ComponentSpec adversary;  ///< kind defaults to "max-delay"
   ComponentSpec network;    ///< kind defaults to "strategy"

@@ -20,6 +20,17 @@ Interval wilson_interval(std::uint64_t successes, std::uint64_t trials,
   return {std::max(0.0, centre - half), std::min(1.0, centre + half)};
 }
 
+double wilson_half_width(std::uint64_t successes, std::uint64_t trials,
+                         double z) {
+  return wilson_interval(successes, trials, z).width() / 2.0;
+}
+
+bool precision_reached(std::uint64_t successes, std::uint64_t trials,
+                       double half_width_target, double z) {
+  if (half_width_target <= 0.0) return false;
+  return wilson_half_width(successes, trials, z) <= half_width_target;
+}
+
 Interval mean_interval(double mean, double stderr_mean, double z) {
   NEATBOUND_EXPECTS(stderr_mean >= 0.0, "stderr must be non-negative");
   return {mean - z * stderr_mean, mean + z * stderr_mean};

@@ -21,6 +21,24 @@ struct Interval {
                                        std::uint64_t trials,
                                        double z = 1.959963984540054);
 
+/// Half-width of the Wilson interval — the quantity sequential-stopping
+/// rules compare against their precision target.
+[[nodiscard]] double wilson_half_width(std::uint64_t successes,
+                                       std::uint64_t trials,
+                                       double z = 1.959963984540054);
+
+/// Sequential-stopping decision for a binomial estimate: true when the
+/// Wilson half-width at `z` has reached `half_width_target`.  A target
+/// of 0 (or negative) never stops — the fixed-budget degenerate case —
+/// because the half-width is strictly positive for any finite trials.
+/// The decision is monotone: once true for a trial count it stays true
+/// for every larger count of the same proportion, and it is monotone in
+/// the target (a looser target stops no later than a tighter one).
+[[nodiscard]] bool precision_reached(std::uint64_t successes,
+                                     std::uint64_t trials,
+                                     double half_width_target,
+                                     double z = 1.959963984540054);
+
 /// Normal-approximation interval for a sample mean given mean/stderr.
 [[nodiscard]] Interval mean_interval(double mean, double stderr_mean,
                                      double z = 1.959963984540054);

@@ -49,6 +49,20 @@ void RunningStats::merge(const RunningStats& other) noexcept {
   max_ = std::max(max_, other.max_);
 }
 
+RunningStatsState RunningStats::state() const noexcept {
+  return {count_, mean_, m2_, min_, max_};
+}
+
+RunningStats RunningStats::from_state(const RunningStatsState& state) noexcept {
+  RunningStats stats;
+  stats.count_ = state.count;
+  stats.mean_ = state.mean;
+  stats.m2_ = state.m2;
+  stats.min_ = state.min;
+  stats.max_ = state.max;
+  return stats;
+}
+
 double quantile(std::span<const double> sample, double q) {
   NEATBOUND_EXPECTS(!sample.empty(), "quantile of empty sample");
   NEATBOUND_EXPECTS(q >= 0.0 && q <= 1.0, "quantile requires q in [0,1]");

@@ -7,6 +7,18 @@
 
 namespace neatbound::stats {
 
+/// The raw accumulator state of a RunningStats, exposed for exact
+/// serialization (experiment checkpoints).  Round-tripping every double
+/// bit-exactly and resuming the add() stream reproduces the accumulator
+/// a single uninterrupted stream would have built.
+struct RunningStatsState {
+  std::uint64_t count = 0;
+  double mean = 0.0;
+  double m2 = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
 /// Welford streaming mean/variance — numerically stable one-pass updates.
 class RunningStats {
  public:
@@ -24,6 +36,12 @@ class RunningStats {
 
   /// Merges another accumulator (parallel reduction friendly).
   void merge(const RunningStats& other) noexcept;
+
+  /// Snapshot of the internal accumulator, for exact persistence.
+  [[nodiscard]] RunningStatsState state() const noexcept;
+  /// Rebuilds an accumulator from a snapshot; the inverse of state().
+  [[nodiscard]] static RunningStats from_state(
+      const RunningStatsState& state) noexcept;
 
  private:
   std::uint64_t count_ = 0;

@@ -1,4 +1,4 @@
-#include "scenario/json.hpp"
+#include "support/json.hpp"
 
 #include <cctype>
 #include <cmath>
@@ -7,7 +7,7 @@
 #include <sstream>
 #include <stdexcept>
 
-namespace neatbound::scenario {
+namespace neatbound::support {
 
 JsonValue JsonValue::make_bool(bool b) {
   JsonValue v;
@@ -352,4 +352,4 @@ JsonValue load_json_file(const std::string& path) {
   }
 }
 
-}  // namespace neatbound::scenario
+}  // namespace neatbound::support

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <stdexcept>
 #include <vector>
 
@@ -61,6 +62,12 @@ constexpr const char* kMiniSweep = R"json({
   }
 })json";
 
+ScenarioRunOptions with_threads(unsigned threads) {
+  ScenarioRunOptions options;
+  options.threads = threads;
+  return options;
+}
+
 void expect_stats_equal(const stats::RunningStats& a,
                         const stats::RunningStats& b) {
   EXPECT_EQ(a.count(), b.count());
@@ -76,7 +83,7 @@ TEST(ScenarioRunner, BitIdenticalToHandWrittenSweep) {
   // every aggregate must match bit for bit (single-threaded both sides).
   const ScenarioSpec spec = parse_scenario(kMiniSweep);
   const std::vector<exp::SweepCell> scenario_cells =
-      run_scenario(spec, ScenarioRegistry::builtin(), {.threads = 1});
+      run_scenario(spec, ScenarioRegistry::builtin(), with_threads(1));
 
   exp::SweepGrid grid;
   grid.axis("nu", {0.15, 0.3});
@@ -118,9 +125,9 @@ TEST(ScenarioRunner, BitIdenticalToHandWrittenSweep) {
 TEST(ScenarioRunner, ParallelMatchesSerial) {
   const ScenarioSpec spec = parse_scenario(kMiniSweep);
   const auto serial =
-      run_scenario(spec, ScenarioRegistry::builtin(), {.threads = 1});
+      run_scenario(spec, ScenarioRegistry::builtin(), with_threads(1));
   const auto parallel =
-      run_scenario(spec, ScenarioRegistry::builtin(), {.threads = 4});
+      run_scenario(spec, ScenarioRegistry::builtin(), with_threads(4));
   ASSERT_EQ(serial.size(), parallel.size());
   for (std::size_t i = 0; i < serial.size(); ++i) {
     expect_stats_equal(serial[i].summary.violation_depth,
@@ -130,10 +137,132 @@ TEST(ScenarioRunner, ParallelMatchesSerial) {
   }
 }
 
+TEST(ScenarioRunner, AdaptivePathWithoutBlockMatchesPlainRun) {
+  // No "adaptive" block: the adaptive path resolves to the fixed-budget
+  // degenerate schedule and must reproduce run_scenario bit for bit —
+  // what makes --checkpoint safe on any spec.
+  const ScenarioSpec spec = parse_scenario(kMiniSweep);
+  const exp::AdaptiveOptions resolved = resolve_adaptive_options(spec, {});
+  EXPECT_EQ(resolved.min_seeds, spec.seeds);
+  EXPECT_EQ(resolved.batch, spec.seeds);
+  EXPECT_EQ(resolved.max_seeds, spec.seeds);
+  EXPECT_DOUBLE_EQ(resolved.half_width, 0.0);
+
+  const auto plain =
+      run_scenario(spec, ScenarioRegistry::builtin(), with_threads(2));
+  const auto adaptive = run_scenario_adaptive(
+      spec, ScenarioRegistry::builtin(), with_threads(2));
+  ASSERT_TRUE(adaptive.complete);
+  EXPECT_EQ(adaptive.waves, 1u);
+  ASSERT_EQ(adaptive.cells.size(), plain.size());
+  for (std::size_t i = 0; i < plain.size(); ++i) {
+    EXPECT_EQ(adaptive.cells[i].seeds_used, spec.seeds);
+    EXPECT_FALSE(adaptive.cells[i].stopped_early);
+    expect_stats_equal(adaptive.cells[i].cell.summary.violation_depth,
+                       plain[i].summary.violation_depth);
+    expect_stats_equal(adaptive.cells[i].cell.summary.chain_quality,
+                       plain[i].summary.chain_quality);
+    expect_stats_equal(adaptive.cells[i].cell.summary.violation_exceeds_t,
+                       plain[i].summary.violation_exceeds_t);
+  }
+}
+
+TEST(ScenarioRunner, AdaptiveBlockDrivesSeedAllocation) {
+  ScenarioSpec spec = parse_scenario(kMiniSweep);
+  spec.adaptive = AdaptiveSpec{.min_seeds = 2,
+                               .batch = 2,
+                               .max_seeds = 8,
+                               .half_width = 0.4,
+                               .confidence = 0.95};
+  const auto result = run_scenario_adaptive(
+      spec, ScenarioRegistry::builtin(), with_threads(4));
+  ASSERT_TRUE(result.complete);
+  std::uint64_t total = 0;
+  for (const exp::AdaptiveCell& cell : result.cells) {
+    EXPECT_GE(cell.seeds_used, 2u);
+    EXPECT_LE(cell.seeds_used, 8u);
+    EXPECT_LE(cell.ci.lo, cell.ci.hi);
+    total += cell.seeds_used;
+  }
+  EXPECT_EQ(total, result.engine_runs);
+}
+
+TEST(ScenarioRunner, SeedsOverrideCapsAdaptiveBudget) {
+  ScenarioSpec spec = parse_scenario(kMiniSweep);
+  spec.adaptive = AdaptiveSpec{.min_seeds = 4,
+                               .batch = 4,
+                               .max_seeds = 64,
+                               .half_width = 0.05,
+                               .confidence = 0.95};
+  SpecOverrides overrides;
+  overrides.seeds = 3;
+  apply_overrides(spec, overrides);
+  EXPECT_EQ(spec.adaptive->max_seeds, 3u);
+  EXPECT_EQ(spec.adaptive->min_seeds, 3u);
+  EXPECT_EQ(spec.adaptive->batch, 3u);
+}
+
+TEST(ScenarioRunner, ResumeRejectsCheckpointFromDifferentComponents) {
+  // The engine configs of two specs can be identical while the registry
+  // wires entirely different adversaries/networks — the component
+  // identity must be part of the checkpoint fingerprint.
+  const std::string path =
+      (std::filesystem::temp_directory_path() /
+       "neatbound_component_fingerprint.json").string();
+  std::filesystem::remove(path);
+
+  ScenarioSpec spec = parse_scenario(kMiniSweep);
+  ScenarioRunOptions options = with_threads(2);
+  options.checkpoint_path = path;
+  (void)run_scenario_adaptive(spec, ScenarioRegistry::builtin(), options);
+
+  ScenarioSpec other = parse_scenario(kMiniSweep);
+  other.adversary.kind = "max-delay";  // same engine configs, other attacker
+  options.resume = true;
+  EXPECT_THROW((void)run_scenario_adaptive(
+                   other, ScenarioRegistry::builtin(), options),
+               std::runtime_error);
+
+  // The unchanged spec still resumes.
+  EXPECT_NO_THROW((void)run_scenario_adaptive(
+      spec, ScenarioRegistry::builtin(), options));
+  std::filesystem::remove(path);
+}
+
+TEST(ScenarioRunner, AdaptiveReportAppendsVerdictColumns) {
+  ScenarioSpec spec = parse_scenario(kMiniSweep);
+  spec.adaptive = AdaptiveSpec{.min_seeds = 2,
+                               .batch = 2,
+                               .max_seeds = 4,
+                               .half_width = 0.0,
+                               .confidence = 0.95};
+  spec.report.columns.clear();  // default columns gain the verdict trio
+  spec.report.section_by.clear();
+  spec.report.section_label.clear();
+  const auto result = run_scenario_adaptive(
+      spec, ScenarioRegistry::builtin(), with_threads(2));
+  RecordingSink sink;
+  render_adaptive_report(spec, result.cells, sink);
+  ASSERT_EQ(sink.sections.size(), 1u);
+  const auto& headers = sink.sections[0].headers;
+  ASSERT_GE(headers.size(), 3u);
+  EXPECT_EQ(headers[headers.size() - 3], "seeds used");
+  EXPECT_EQ(headers[headers.size() - 2], "ci low");
+  EXPECT_EQ(headers[headers.size() - 1], "ci high");
+  for (const auto& row : sink.sections[0].rows) {
+    EXPECT_EQ(row[row.size() - 3], "4");  // half_width 0 → full budget
+  }
+  // The verdict names only resolve for adaptive cells.
+  const auto plain =
+      run_scenario(spec, ScenarioRegistry::builtin(), with_threads(2));
+  const CellContext context(spec, plain[0]);
+  EXPECT_THROW((void)context.value("seeds_used"), std::runtime_error);
+}
+
 TEST(ScenarioRunner, RendersBenchStyleSections) {
   const ScenarioSpec spec = parse_scenario(kMiniSweep);
   const auto cells =
-      run_scenario(spec, ScenarioRegistry::builtin(), {.threads = 0});
+      run_scenario(spec, ScenarioRegistry::builtin(), with_threads(0));
   RecordingSink sink;
   render_report(spec, cells, sink);
 
@@ -160,7 +289,7 @@ TEST(ScenarioRunner, DefaultColumnsCoverAxesAndCoreStats) {
           "axes": [{"name": "delta", "values": [1, 2]}], "seeds": 1,
           "adversary": {"strategy": "max-delay"}})");
   const auto cells =
-      run_scenario(spec, ScenarioRegistry::builtin(), {.threads = 1});
+      run_scenario(spec, ScenarioRegistry::builtin(), with_threads(1));
   RecordingSink sink;
   render_report(spec, cells, sink);
   ASSERT_EQ(sink.sections.size(), 1u);
@@ -213,14 +342,14 @@ TEST(ScenarioRunner, InvalidEngineParametersFailFast) {
       R"({"name": "bad", "engine": {"miners": 8, "nu": 0.8, "delta": 2,
           "rounds": 100, "p": 0.01}, "seeds": 1})");
   EXPECT_THROW(
-      (void)run_scenario(bad_nu, ScenarioRegistry::builtin(), {.threads = 1}),
+      (void)run_scenario(bad_nu, ScenarioRegistry::builtin(), with_threads(1)),
       ContractViolation);
 
   const ScenarioSpec bad_p = parse_scenario(
       R"({"name": "bad", "engine": {"miners": 8, "nu": 0.2, "delta": 2,
           "rounds": 100, "p": 1.5}, "seeds": 1})");
   EXPECT_THROW(
-      (void)run_scenario(bad_p, ScenarioRegistry::builtin(), {.threads = 1}),
+      (void)run_scenario(bad_p, ScenarioRegistry::builtin(), with_threads(1)),
       ContractViolation);
 }
 
@@ -230,7 +359,7 @@ TEST(ScenarioRunner, UnknownComponentFailsBeforeRunning) {
           "rounds": 100, "p": 0.01}, "seeds": 1,
           "adversary": {"strategy": "nonexistent"}})");
   EXPECT_THROW(
-      (void)run_scenario(spec, ScenarioRegistry::builtin(), {.threads = 1}),
+      (void)run_scenario(spec, ScenarioRegistry::builtin(), with_threads(1)),
       std::runtime_error);
 }
 
@@ -240,7 +369,7 @@ TEST(ScenarioRunner, UnknownReportValueNamesTheCategories) {
           "rounds": 100, "p": 0.02}, "seeds": 1,
           "report": {"columns": [{"value": "wat"}]}})");
   const auto cells =
-      run_scenario(spec, ScenarioRegistry::builtin(), {.threads = 1});
+      run_scenario(spec, ScenarioRegistry::builtin(), with_threads(1));
   RecordingSink sink;
   EXPECT_THROW(render_report(spec, cells, sink), std::runtime_error);
 }
@@ -250,7 +379,7 @@ TEST(ScenarioRunner, LabelTemplateEscapesAndPrecision) {
       R"({"name": "x", "engine": {"miners": 8, "nu": 0.25, "delta": 2,
           "rounds": 100, "p": 0.02}, "seeds": 1})");
   const auto cells =
-      run_scenario(spec, ScenarioRegistry::builtin(), {.threads = 1});
+      run_scenario(spec, ScenarioRegistry::builtin(), with_threads(1));
   const CellContext context(spec, cells[0]);
   EXPECT_EQ(format_label("nu={nu:2} {{braces}}", context),
             "nu=0.25 {braces}");

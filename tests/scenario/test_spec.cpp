@@ -126,11 +126,63 @@ TEST(Spec, RejectsStructuralMistakes) {
       std::runtime_error);
 }
 
+TEST(Spec, ParsesAdaptiveBlock) {
+  const ScenarioSpec spec = parse_scenario(R"({
+    "name": "x",
+    "adaptive": {"min_seeds": 2, "batch": 5, "max_seeds": 40,
+                 "half_width": 0.02, "confidence": 0.99}
+  })");
+  ASSERT_TRUE(spec.adaptive.has_value());
+  EXPECT_EQ(spec.adaptive->min_seeds, 2u);
+  EXPECT_EQ(spec.adaptive->batch, 5u);
+  EXPECT_EQ(spec.adaptive->max_seeds, 40u);
+  EXPECT_DOUBLE_EQ(spec.adaptive->half_width, 0.02);
+  EXPECT_DOUBLE_EQ(spec.adaptive->confidence, 0.99);
+
+  // Defaults apply per key; absence of the block means no adaptivity.
+  const ScenarioSpec defaults =
+      parse_scenario(R"({"name": "x", "adaptive": {}})");
+  ASSERT_TRUE(defaults.adaptive.has_value());
+  EXPECT_EQ(defaults.adaptive->min_seeds, 4u);
+  EXPECT_EQ(defaults.adaptive->max_seeds, 64u);
+  EXPECT_DOUBLE_EQ(defaults.adaptive->half_width, 0.05);
+  EXPECT_FALSE(parse_scenario(R"({"name": "x"})").adaptive.has_value());
+}
+
+TEST(Spec, RejectsBadAdaptiveBlocks) {
+  // unknown key
+  EXPECT_THROW((void)parse_scenario(
+                   R"({"name": "x", "adaptive": {"min_seed": 2}})"),
+               std::runtime_error);
+  // zero min_seeds / batch
+  EXPECT_THROW((void)parse_scenario(
+                   R"({"name": "x", "adaptive": {"min_seeds": 0}})"),
+               std::runtime_error);
+  EXPECT_THROW(
+      (void)parse_scenario(R"({"name": "x", "adaptive": {"batch": 0}})"),
+      std::runtime_error);
+  // max below min
+  EXPECT_THROW((void)parse_scenario(
+                   R"({"name": "x",
+                       "adaptive": {"min_seeds": 8, "max_seeds": 4}})"),
+               std::runtime_error);
+  // negative half-width, confidence outside (0,1)
+  EXPECT_THROW((void)parse_scenario(
+                   R"({"name": "x", "adaptive": {"half_width": -0.1}})"),
+               std::runtime_error);
+  EXPECT_THROW((void)parse_scenario(
+                   R"({"name": "x", "adaptive": {"confidence": 1.0}})"),
+               std::runtime_error);
+  EXPECT_THROW((void)parse_scenario(
+                   R"({"name": "x", "adaptive": {"confidence": 0.0}})"),
+               std::runtime_error);
+}
+
 TEST(Spec, BundledScenariosParseAndValidate) {
   for (const char* file :
-       {"balance_vs_forkbalancer.json", "bursty_partition.json",
-        "consistency_sweep.json", "eclipse_targeting.json",
-        "uniform_jitter.json"}) {
+       {"adaptive_consistency.json", "balance_vs_forkbalancer.json",
+        "bursty_partition.json", "consistency_sweep.json",
+        "eclipse_targeting.json", "uniform_jitter.json"}) {
     const std::string path =
         std::string(NEATBOUND_SCENARIO_DIR) + "/" + file;
     const ScenarioSpec spec = load_scenario_file(path);

@@ -151,5 +151,95 @@ TEST(ZForConfidence, RejectsOutOfRange) {
   EXPECT_THROW((void)z_for_confidence(1.0), neatbound::ContractViolation);
 }
 
+TEST(Wilson, EdgeCountsAreFiniteAndOrdered) {
+  // k = 0: pinned to 0 on the left (up to rounding), open on the right
+  // (hi = z²/(n+z²)).
+  const Interval none = wilson_interval(0, 25);
+  EXPECT_NEAR(none.lo, 0.0, 1e-12);
+  const double z2 = 1.959963984540054 * 1.959963984540054;
+  EXPECT_NEAR(none.hi, z2 / (25.0 + z2), 1e-12);
+  // k = n: the mirror image — hi is exactly 1 in exact arithmetic.
+  const Interval all = wilson_interval(25, 25);
+  EXPECT_NEAR(all.hi, 1.0, 1e-12);
+  EXPECT_NEAR(all.lo, 1.0 - none.hi, 1e-12);
+  // n = 1 in all three outcomes: wide but sane.
+  for (const std::uint64_t k : {std::uint64_t{0}, std::uint64_t{1}}) {
+    const Interval one = wilson_interval(k, 1);
+    EXPECT_GE(one.lo, 0.0);
+    EXPECT_LE(one.hi, 1.0);
+    EXPECT_LT(one.lo, one.hi);
+    EXPECT_TRUE(one.contains(static_cast<double>(k)));
+  }
+  // Huge n: no overflow, width collapses toward 0 around phat.
+  const Interval huge = wilson_interval(500'000'000'000ULL,
+                                        1'000'000'000'000ULL);
+  EXPECT_TRUE(std::isfinite(huge.lo));
+  EXPECT_TRUE(std::isfinite(huge.hi));
+  EXPECT_TRUE(huge.contains(0.5));
+  EXPECT_LT(huge.width(), 1e-5);
+}
+
+TEST(WilsonHalfWidth, MatchesIntervalAndShrinksWithTrials) {
+  EXPECT_DOUBLE_EQ(wilson_half_width(7, 20),
+                   wilson_interval(7, 20).width() / 2.0);
+  double previous = 1.0;
+  for (const std::uint64_t n : {4ULL, 16ULL, 64ULL, 256ULL, 4096ULL}) {
+    const double hw = wilson_half_width(n / 2, n);
+    EXPECT_LT(hw, previous);
+    previous = hw;
+  }
+}
+
+/// The sequential-stopping decision is monotone along both axes the
+/// adaptive sweep relies on: more trials never un-stops a proportion,
+/// and a looser target stops no later than a tighter one.
+TEST(PrecisionReached, MonotoneInTrialsAndTarget) {
+  const double target = 0.1;
+  bool reached_before = false;
+  for (std::uint64_t n = 1; n <= 600; ++n) {
+    const bool reached = precision_reached(n / 2, n, target);
+    EXPECT_FALSE(reached_before && !reached) << "un-stopped at n=" << n;
+    reached_before = reached;
+  }
+  EXPECT_TRUE(reached_before);
+
+  // For a fixed (k, n), the smallest stopping target is a threshold:
+  // every looser target stops too.
+  const std::uint64_t k = 3, n = 60;
+  bool stopped = false;
+  for (const double t : {0.01, 0.05, 0.08, 0.12, 0.3}) {
+    const bool now = precision_reached(k, n, t);
+    EXPECT_FALSE(stopped && !now) << "non-monotone at target " << t;
+    stopped = now;
+  }
+  EXPECT_TRUE(stopped);
+
+  // Target 0 (the fixed-budget degenerate) never stops.
+  EXPECT_FALSE(precision_reached(0, 1'000'000, 0.0));
+  EXPECT_FALSE(precision_reached(0, 1'000'000, -1.0));
+}
+
+TEST(RunningStatsState, RoundTripsBitExactly) {
+  RunningStats original;
+  for (int i = 1; i <= 37; ++i) original.add(1.0 / i - 0.5 * (i % 3));
+  const RunningStatsState state = original.state();
+  const RunningStats rebuilt = RunningStats::from_state(state);
+  EXPECT_EQ(rebuilt.count(), original.count());
+  EXPECT_DOUBLE_EQ(rebuilt.mean(), original.mean());
+  EXPECT_DOUBLE_EQ(rebuilt.variance(), original.variance());
+  EXPECT_DOUBLE_EQ(rebuilt.min(), original.min());
+  EXPECT_DOUBLE_EQ(rebuilt.max(), original.max());
+  // Continuing the stream from the rebuilt state matches continuing the
+  // original — the checkpoint/resume identity at the accumulator level.
+  RunningStats a = original;
+  RunningStats b = RunningStats::from_state(state);
+  for (int i = 0; i < 11; ++i) {
+    a.add(0.123 * i);
+    b.add(0.123 * i);
+  }
+  EXPECT_DOUBLE_EQ(a.mean(), b.mean());
+  EXPECT_DOUBLE_EQ(a.variance(), b.variance());
+}
+
 }  // namespace
 }  // namespace neatbound::stats
