@@ -9,6 +9,7 @@
 #include "exp/checkpoint.hpp"
 #include "sim/engine.hpp"
 #include "support/contracts.hpp"
+#include "support/invariant.hpp"
 #include "support/parallel.hpp"
 
 namespace neatbound::exp {
@@ -127,10 +128,22 @@ WaveLoopOutcome run_waves(std::vector<CellState>& cells,
 
   if (adaptive.resume && !adaptive.checkpoint_path.empty() &&
       std::filesystem::exists(adaptive.checkpoint_path)) {
+    // Fingerprint precondition: a resumable run must hash its own sweep
+    // description — resuming with the 0 sentinel would skip the foreign-
+    // checkpoint rejection in load_sweep_checkpoint entirely.
+    NEATBOUND_INVARIANT(fingerprint != 0,
+                        "resume requires a non-zero sweep fingerprint");
     const SweepCheckpoint checkpoint =
         load_sweep_checkpoint(adaptive.checkpoint_path, fingerprint);
     restore_cells(cells, checkpoint, adaptive.checkpoint_path);
     outcome.waves_total = checkpoint.waves_done;
+    NEATBOUND_INVARIANT(
+        std::all_of(cells.begin(), cells.end(),
+                    [&](const CellState& cell) {
+                      return cell.seeds_done <= adaptive.max_seeds &&
+                             (!cell.stopped_early || cell.stopped);
+                    }),
+        "restored cell state inconsistent (seed budget or stop flags)");
   }
 
   std::uint32_t waves_this_process = 0;
@@ -167,6 +180,10 @@ WaveLoopOutcome run_waves(std::vector<CellState>& cells,
     // to the serial fixed-budget accumulation truncated at seeds_done.
     for (std::size_t j = 0; j < jobs.size(); ++j) {
       CellState& cell = cells[jobs[j].first];
+      // The serial≡parallel bit-identity hangs on folding seed k as the
+      // cell's k-th accumulation, whatever order the pool ran the jobs.
+      NEATBOUND_INVARIANT(cell.seeds_done == jobs[j].second,
+                          "wave fold out of seed order");
       sim::accumulate_run(cell.summary, results[j], options.violation_t);
       if (results[j].violation_depth > options.violation_t) {
         ++cell.violations;
@@ -191,6 +208,10 @@ WaveLoopOutcome run_waves(std::vector<CellState>& cells,
     ++waves_this_process;
     ++outcome.waves_total;
     if (!adaptive.checkpoint_path.empty()) {
+      // Same precondition as resume: never write a checkpoint that a
+      // later load could not verify against its sweep.
+      NEATBOUND_INVARIANT(fingerprint != 0,
+                          "checkpointing requires a non-zero fingerprint");
       save_sweep_checkpoint(
           adaptive.checkpoint_path,
           snapshot_cells(cells, fingerprint, outcome.waves_total));

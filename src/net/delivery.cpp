@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <bit>
 
+#include "support/invariant.hpp"
+
 namespace neatbound::net {
 
 namespace {
@@ -26,6 +28,13 @@ void DeliveryCalendar::schedule(std::uint64_t due_round,
   if (round - base_round_ >= buckets_.size()) {
     grow(round - base_round_ + 1);
   }
+  // Ring capacity: the bucket count must stay a power of two (bucket_at
+  // masks with size-1) and span the scheduled round — anything else and
+  // this append lands in a bucket belonging to a different round.
+  NEATBOUND_INVARIANT(std::has_single_bit(buckets_.size()),
+                      "calendar ring size must be a power of two");
+  NEATBOUND_INVARIANT(round - base_round_ < buckets_.size(),
+                      "scheduled round outside the grown ring span");
   bucket_at(round).push_back(Pending{recipient, block});
   ++pending_;
 }
@@ -46,6 +55,17 @@ void DeliveryCalendar::grow(std::uint64_t span) {
     grown[r & (grown.size() - 1)] = std::move(buckets_[r & (old_size - 1)]);
   }
   buckets_ = std::move(grown);
+  // Re-bucketing must preserve every pending entry: the new ring holds
+  // exactly pending_ messages, all within the live window.
+  NEATBOUND_INVARIANT(
+      [&] {
+        std::size_t total = 0;
+        for (const std::vector<Pending>& bucket : buckets_) {
+          total += bucket.size();
+        }
+        return total == pending_;
+      }(),
+      "grow() lost or duplicated pending deliveries");
 }
 
 }  // namespace neatbound::net

@@ -9,11 +9,13 @@
 // enforces by construction.
 #pragma once
 
+#include <bit>
 #include <cstdint>
 #include <vector>
 
 #include "protocol/block.hpp"
 #include "support/contracts.hpp"
+#include "support/invariant.hpp"
 #include "support/rng.hpp"
 
 namespace neatbound::net {
@@ -68,6 +70,11 @@ class DeliveryCalendar {
   /// per-round hot path; bucket storage is retained for reuse.
   template <typename Fn>
   void drain_due(std::uint64_t round, Fn&& fn) {
+    // bucket_at masks with size-1: a non-power-of-two ring would map
+    // rounds onto the wrong buckets and deliveries would silently swap
+    // rounds.
+    NEATBOUND_INVARIANT(std::has_single_bit(buckets_.size()),
+                        "calendar ring size must be a power of two");
     if (pending_ == 0) {
       if (round >= base_round_) base_round_ = round + 1;
       return;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "support/invariant.hpp"
+
 namespace neatbound::protocol {
 
 BlockStore::BlockStore() {
@@ -80,6 +82,27 @@ BlockIndex BlockStore::add(Block block) {
     skip_[k - 1].push_back(anc);
     half_step = anc;
   }
+
+  // Column-length lockstep: every SoA column (and every skip row) must
+  // cover exactly the blocks appended so far — a short column would turn
+  // the next *_of read into a silent out-of-bounds.
+  NEATBOUND_INVARIANT(
+      parent_hash_.size() == hash_.size() && parent_.size() == hash_.size() &&
+          height_.size() == hash_.size() && round_.size() == hash_.size() &&
+          nonce_.size() == hash_.size() &&
+          payload_digest_.size() == hash_.size() &&
+          miner_.size() == hash_.size() &&
+          miner_class_.size() == hash_.size() &&
+          message_.size() == hash_.size() && by_hash_.size() == hash_.size(),
+      "SoA columns out of lockstep after add()");
+  NEATBOUND_INVARIANT(
+      std::all_of(skip_.begin(), skip_.end(),
+                  [&](const std::vector<BlockIndex>& row) {
+                    return row.size() == hash_.size();
+                  }),
+      "skip-table row not index-aligned with the SoA columns");
+  NEATBOUND_INVARIANT(height_[index] == height_[parent] + 1,
+                      "child height must be parent height + 1");
   return index;
 }
 

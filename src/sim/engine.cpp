@@ -6,6 +6,7 @@
 #include "chains/convergence.hpp"
 #include "protocol/mining.hpp"
 #include "support/contracts.hpp"
+#include "support/invariant.hpp"
 
 namespace neatbound::sim {
 
@@ -144,6 +145,17 @@ void ExecutionEngine::note_adoption(std::uint32_t miner) {
     best_view_ = miner;
     best_tip_ = tip;
   }
+  // The incremental best-tip triple is what the adversary and the metrics
+  // read instead of rescanning views: it must keep naming a real view's
+  // tip at its real height, and must never fall behind the tip that was
+  // just adopted.
+  NEATBOUND_INVARIANT(best_height_ == store_.height_of(best_tip_),
+                      "best-tip height cache out of lockstep with the store");
+  NEATBOUND_INVARIANT(best_view_ < honest_count_ &&
+                          tips_scratch_[best_view_] == best_tip_,
+                      "best-tip cache names a tip no view holds");
+  NEATBOUND_INVARIANT(best_height_ >= height,
+                      "best-tip cache fell behind a fresh adoption");
 }
 
 std::uint64_t ExecutionEngine::clamp_delay(std::uint64_t d) const noexcept {

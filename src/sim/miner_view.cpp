@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "support/contracts.hpp"
+#include "support/invariant.hpp"
 
 namespace neatbound::sim {
 
@@ -33,6 +34,13 @@ void MinerView::buffer_orphan(protocol::BlockIndex parent,
   // gossip echo while the parent is withheld); it is already threaded into
   // its parent's list, and re-threading would sever the tail behind it.
   if (buffered_[block]) return;
+  // Bitset ↔ intrusive-list lockstep (the PR 4 corruption class): a block
+  // the bitset calls un-buffered must not already carry a list link —
+  // overwriting waiting_next_ here is exactly how the sibling behind it
+  // got silently dropped.
+  NEATBOUND_INVARIANT(waiting_next_[block] == kNoWaiting,
+                      "un-buffered block already threaded into a waiting "
+                      "list — buffered_ out of lockstep");
   buffered_[block] = true;
   // Push-front; activation re-reverses, so children wake in arrival order.
   waiting_next_[block] = waiting_first_[parent];
@@ -58,6 +66,13 @@ void MinerView::activate_ready(protocol::BlockIndex block,
       protocol::BlockIndex child = waiting_first_[current];
       waiting_first_[current] = kNoWaiting;
       while (child != kNoWaiting) {
+        // Everything threaded into a waiting list must be marked buffered;
+        // an unmarked entry means some other path threaded it without
+        // going through buffer_orphan's duplicate guard.
+        NEATBOUND_INVARIANT(buffered_[child],
+                            "waiting-list entry not marked buffered_");
+        NEATBOUND_INVARIANT(!knows(child),
+                            "known block still threaded as a waiting orphan");
         const protocol::BlockIndex next = waiting_next_[child];
         waiting_next_[child] = kNoWaiting;
         buffered_[child] = false;
@@ -81,6 +96,10 @@ void MinerView::consider_tip(protocol::BlockIndex candidate,
   event.reorg_depth = std::max(event.reorg_depth, abandoned);
   tip_ = candidate;
   tip_height_ = candidate_height;
+  // The cached height is what every longest-chain compare reads; drift
+  // from the store's truth silently changes which chains win.
+  NEATBOUND_INVARIANT(tip_height_ == store.height_of(tip_),
+                      "cached tip height out of lockstep with the store");
 }
 
 }  // namespace neatbound::sim
