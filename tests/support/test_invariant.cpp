@@ -1,0 +1,52 @@
+// NEATBOUND_INVARIANT contract: in checking builds (Debug, sanitized, or
+// -DNEATBOUND_CHECK_INVARIANTS=ON) a false condition throws
+// ContractViolation from the mutation site; in Release the condition is
+// not even evaluated.  Both halves are asserted here, so whichever
+// configuration this suite is built in, the macro's behaviour in *that*
+// configuration is pinned.
+#include "support/invariant.hpp"
+
+#include <gtest/gtest.h>
+
+namespace neatbound {
+namespace {
+
+TEST(Invariant, TrueConditionIsAlwaysSilent) {
+  EXPECT_NO_THROW(NEATBOUND_INVARIANT(1 + 1 == 2, "arithmetic works"));
+}
+
+TEST(Invariant, FalseConditionThrowsExactlyInCheckingBuilds) {
+  if (invariant_checks_enabled()) {
+    EXPECT_THROW(NEATBOUND_INVARIANT(false, "must be loud"),
+                 ContractViolation);
+  } else {
+    EXPECT_NO_THROW(NEATBOUND_INVARIANT(false, "compiled out"));
+  }
+}
+
+TEST(Invariant, ConditionNotEvaluatedWhenCompiledOut) {
+  int evaluations = 0;
+  [[maybe_unused]] const auto probe = [&]() {
+    ++evaluations;
+    return true;
+  };
+  NEATBOUND_INVARIANT(probe(), "side-effect probe");
+  EXPECT_EQ(evaluations, invariant_checks_enabled() ? 1 : 0);
+}
+
+TEST(Invariant, MessageNamesTheMutationSite) {
+  if (!invariant_checks_enabled()) GTEST_SKIP() << "checks compiled out";
+  try {
+    NEATBOUND_INVARIANT(2 < 1, "ordering went backwards");
+    FAIL() << "expected ContractViolation";
+  } catch (const ContractViolation& violation) {
+    const std::string what = violation.what();
+    EXPECT_NE(what.find("structural invariant"), std::string::npos);
+    EXPECT_NE(what.find("2 < 1"), std::string::npos);
+    EXPECT_NE(what.find("ordering went backwards"), std::string::npos);
+    EXPECT_NE(what.find("test_invariant.cpp"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace neatbound
