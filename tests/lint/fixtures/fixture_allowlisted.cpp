@@ -1,0 +1,23 @@
+// Every banned construction below carries a justification allowlist
+// comment, so this fixture must scan *clean* — the self-test's proof
+// that the escape hatch works and that prose in comments (rand(),
+// unordered_map iteration, system_clock) never trips a rule by itself.
+#include <chrono>
+#include <random>
+#include <unordered_map>
+
+unsigned long long justified_exceptions() {
+  // determinism-lint: allow(nondeterministic-source) — fixture demo only
+  std::random_device device;
+  // determinism-lint: allow(wall-clock) — fixture demo only
+  const auto wall = std::chrono::system_clock::now();
+  std::unordered_map<int, int> cache{{1, 2}};
+  unsigned long long sum =
+      device() + static_cast<unsigned long long>(
+                     wall.time_since_epoch().count());
+  // determinism-lint: allow(unordered-iteration) — fixture demo only
+  for (const auto& [key, value] : cache) {
+    sum += static_cast<unsigned long long>(key + value);
+  }
+  return sum;
+}

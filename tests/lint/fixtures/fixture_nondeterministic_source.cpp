@@ -1,0 +1,11 @@
+// Known-bad fixture for scripts/check_determinism.py: unseeded entropy
+// sources.  Never compiled — scanned by the lint self-test only.
+// lint-expect: nondeterministic-source
+#include <cstdlib>
+#include <random>
+
+int entropy_soup() {
+  std::random_device device;  // hardware entropy: different bytes every run
+  std::srand(42);             // C RNG: process-global hidden state
+  return static_cast<int>(device()) + std::rand();
+}

@@ -1,0 +1,15 @@
+// Known-bad fixture for scripts/check_determinism.py: ordered containers
+// keyed on addresses — iteration order becomes allocation order, which
+// ASLR reshuffles per process.
+// lint-expect: pointer-keyed-ordering
+#include <map>
+#include <set>
+
+struct Block;
+
+int address_ordered(const Block* block) {
+  std::map<const Block*, int> first_seen;
+  std::set<Block*> frontier;
+  first_seen[block] = 1;
+  return static_cast<int>(first_seen.size() + frontier.size());
+}

@@ -1,0 +1,12 @@
+// Known-bad fixture for scripts/check_determinism.py: a clock feeding a
+// seed.  steady_clock on its own is allowed, which is exactly why the
+// seeding pattern needs its own rule.
+// lint-expect: time-seeded-rng
+#include <chrono>
+
+#include "support/rng.hpp"
+
+neatbound::Rng jittery_stream() {
+  const auto seed = std::chrono::steady_clock::now().time_since_epoch().count();
+  return neatbound::Rng(static_cast<unsigned long long>(seed));
+}

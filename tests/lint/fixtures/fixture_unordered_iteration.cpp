@@ -1,0 +1,14 @@
+// Known-bad fixture for scripts/check_determinism.py: hash-order
+// iteration feeding a sink.  Membership operations are fine; the
+// range-for is what leaks libstdc++'s bucket order into output.
+// lint-expect: unordered-iteration
+#include <iostream>
+#include <unordered_map>
+
+void dump_counts(std::ostream& sink) {
+  std::unordered_map<int, int> counts{{1, 2}, {3, 4}};
+  counts.emplace(5, 6);
+  for (const auto& [key, value] : counts) {
+    sink << key << ' ' << value << '\n';
+  }
+}

@@ -1,0 +1,10 @@
+// Known-bad fixture for scripts/check_determinism.py: wall-clock reads.
+// steady_clock is the allowed exception (elapsed-time metadata only).
+// lint-expect: wall-clock
+#include <chrono>
+
+long long stamp_output_row() {
+  const auto wall = std::chrono::system_clock::now();
+  const auto precise = std::chrono::high_resolution_clock::now();
+  return (wall.time_since_epoch() - precise.time_since_epoch()).count();
+}
