@@ -22,6 +22,14 @@
 #include "support/cli.hpp"
 #include "support/table.hpp"
 
+// Stamped by bench/CMakeLists.txt; fall back loudly for ad-hoc compiles.
+#ifndef NEATBOUND_BUILD_TYPE
+#define NEATBOUND_BUILD_TYPE "unknown"
+#endif
+#ifndef NEATBOUND_SANITIZE_FLAGS
+#define NEATBOUND_SANITIZE_FLAGS "unknown"
+#endif
+
 int main(int argc, char** argv) {
   using namespace neatbound;
   using Clock = std::chrono::steady_clock;
@@ -44,6 +52,11 @@ int main(int argc, char** argv) {
   report.set_meta_number("rounds", static_cast<double>(rounds));
   report.set_meta_number("seeds", seeds);
   report.set_meta_number("nu", nu);
+  // Build provenance: scripts/perf_baseline reads these to refuse
+  // appending an instrumented (sanitized or non-Release) run to the
+  // BENCH_history.jsonl perf trajectory.
+  report.set_meta("build_type", NEATBOUND_BUILD_TYPE);
+  report.set_meta("sanitize", NEATBOUND_SANITIZE_FLAGS);
 
   const std::uint32_t miners_axis[] = {16, 64, 160};
   const std::uint64_t delta_axis[] = {1, 4};
