@@ -39,11 +39,20 @@ each fixture declares the rules it must trigger with `// lint-expect:
 <rule>` lines (a fixture with none must scan clean), and the run fails
 unless every fixture fires exactly its declared rule set.  This is the
 CTest entry `lint/determinism_self_test`.
+
+Comment/string handling is delegated to the shared C++ lexer in
+neatbound_srcmodel.py: comments (including multi-line /* */) AND string
+literals (including raw strings) are blanked before the rules run, so
+prose cannot trip a rule and a string containing "//" cannot hide a
+real finding on the same line.
 """
 import argparse
 import pathlib
 import re
 import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+import neatbound_srcmodel as srcmodel  # noqa: E402
 
 ALLOW = re.compile(r"determinism-lint:\s*allow\(([a-z,\s-]+)\)")
 EXPECT = re.compile(r"//\s*lint-expect:\s*([a-z-]+)")
@@ -84,40 +93,6 @@ SIMPLE_RULES = {
 ALL_RULES = sorted(list(SIMPLE_RULES) + ["unordered-iteration"])
 
 
-def strip_comments(lines: list[str]) -> list[str]:
-    """Blank out // and /* */ comment text (the allowlist is read from the
-    raw lines first), so prose mentioning rand() or unordered_map cannot
-    trip a rule."""
-    out = []
-    in_block = False
-    for line in lines:
-        cleaned = []
-        i = 0
-        while i < len(line):
-            if in_block:
-                end = line.find("*/", i)
-                if end == -1:
-                    i = len(line)
-                else:
-                    in_block = False
-                    i = end + 2
-            else:
-                block = line.find("/*", i)
-                lineend = line.find("//", i)
-                if lineend != -1 and (block == -1 or lineend < block):
-                    cleaned.append(line[i:lineend])
-                    i = len(line)
-                elif block != -1:
-                    cleaned.append(line[i:block])
-                    in_block = True
-                    i = block + 2
-                else:
-                    cleaned.append(line[i:])
-                    i = len(line)
-        out.append("".join(cleaned))
-    return out
-
-
 def allowed_rules(raw_lines: list[str], lineno: int) -> set[str]:
     """Rules allowlisted for 1-based line `lineno`: a comment on the line
     itself or the line directly above."""
@@ -132,8 +107,11 @@ def allowed_rules(raw_lines: list[str], lineno: int) -> set[str]:
 
 def scan_file(path: pathlib.Path) -> list[tuple[int, str, str]]:
     """Returns (line, rule, excerpt) findings for one file."""
-    raw = path.read_text(encoding="utf-8").splitlines()
-    clean = strip_comments(raw)
+    text = path.read_text(encoding="utf-8")
+    raw = text.splitlines()
+    # Shared lexer: blanks comments AND string literals (raw strings,
+    # multi-line /* */ blocks) while preserving the line layout.
+    clean = srcmodel.lex(text).code.splitlines()
     findings: list[tuple[int, str, str]] = []
 
     unordered_names = set()

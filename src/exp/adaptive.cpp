@@ -234,8 +234,7 @@ std::vector<CellState> build_cells(const SweepGrid& grid,
   for (std::size_t i = 0; i < grid.size(); ++i) {
     GridPoint point = grid.point(i);
     sim::ExperimentConfig config = build(point);
-    cells.push_back({std::move(point), std::move(config), {}, 0, 0, false,
-                     false});
+    cells.push_back({std::move(point), config, {}, 0, 0, false, false});
   }
   return cells;
 }
@@ -251,8 +250,7 @@ AdaptiveCell finish_cell(CellState&& cell, double z) {
   // The cell becomes exactly the fixed-budget cell it is bit-identical
   // to: config.seeds reflects the seeds actually folded in.
   cell.config.seeds = cell.seeds_done;
-  out.cell = {std::move(cell.point), std::move(cell.config),
-              std::move(cell.summary)};
+  out.cell = {std::move(cell.point), cell.config, cell.summary};
   return out;
 }
 

@@ -18,6 +18,9 @@ double GridPoint::value(const std::string& axis) const {
 
 double GridPoint::value(std::size_t axis) const { return values_.at(axis); }
 
+// neatbound-analyze: allow(contract-coverage) — preconditions (non-empty
+// values, no duplicate axis) are enforced right below via typed
+// std::invalid_argument throws that callers catch as part of the API.
 SweepGrid& SweepGrid::axis(std::string name, std::vector<double> values) {
   if (values.empty()) {
     throw std::invalid_argument("SweepGrid: axis '" + name +

@@ -23,7 +23,7 @@ std::vector<SweepCell> run_sweep_with(const SweepGrid& grid,
     GridPoint point = grid.point(i);
     sim::ExperimentConfig config = build(point);
     first_job[i + 1] = first_job[i] + config.seeds;
-    out.push_back({std::move(point), std::move(config), {}});
+    out.push_back({std::move(point), config, {}});
   }
   const std::size_t total_jobs = first_job[cells];
   std::vector<std::size_t> job_cell(total_jobs);

@@ -15,6 +15,7 @@
 
 #include "protocol/block.hpp"
 #include "support/contracts.hpp"
+#include "support/hot.hpp"
 #include "support/invariant.hpp"
 #include "support/rng.hpp"
 
@@ -57,8 +58,9 @@ class DeliveryCalendar {
 
   /// Schedules `block` to reach `recipient` at `due_round`, which must
   /// lie less than kMaxSpan rounds past the earliest uncollected round.
-  void schedule(std::uint64_t due_round, std::uint32_t recipient,
-                protocol::BlockIndex block);
+  NEATBOUND_HOT void schedule(std::uint64_t due_round,
+                              std::uint32_t recipient,
+                              protocol::BlockIndex block);
 
   /// Pops everything due at or before `round` for all recipients; the
   /// result is grouped as (recipient, block) pairs in due order (see the
@@ -69,7 +71,7 @@ class DeliveryCalendar {
   /// or before `round`, in exactly collect_due's order.  The engine's
   /// per-round hot path; bucket storage is retained for reuse.
   template <typename Fn>
-  void drain_due(std::uint64_t round, Fn&& fn) {
+  NEATBOUND_HOT void drain_due(std::uint64_t round, Fn&& fn) {
     // bucket_at masks with size-1: a non-power-of-two ring would map
     // rounds onto the wrong buckets and deliveries would silently swap
     // rounds.

@@ -36,6 +36,10 @@ Block BlockStore::block(BlockIndex index) const {
   return b;
 }
 
+// neatbound-analyze: allow(hot-alloc) — accepted allocation boundary:
+// add() is the append-only SoA growth point; every push_back amortizes
+// geometrically over blocks ever mined, and nothing downstream of it is
+// per-delivery work.  Keep new columns inside this function.
 BlockIndex BlockStore::add(Block block) {
   const auto parent_it = by_hash_.find(block.parent_hash);
   NEATBOUND_EXPECTS(parent_it != by_hash_.end(),

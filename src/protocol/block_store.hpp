@@ -24,6 +24,7 @@
 
 #include "protocol/block.hpp"
 #include "support/contracts.hpp"
+#include "support/hot.hpp"
 
 namespace neatbound::protocol {
 
@@ -97,26 +98,27 @@ class BlockStore {
   /// and genesis is returned (never an underflow or an error).  In
   /// particular ancestor(genesis, k) == genesis for every k.  O(log steps)
   /// via the skip table.
-  [[nodiscard]] BlockIndex ancestor(BlockIndex index,
-                                    std::uint64_t steps) const;
+  [[nodiscard]] NEATBOUND_HOT BlockIndex ancestor(BlockIndex index,
+                                                  std::uint64_t steps) const;
 
   /// The unique ancestor of `index` at height `target_height`, which must
   /// not exceed the block's own height.  O(log h).
-  [[nodiscard]] BlockIndex ancestor_at_height(
+  [[nodiscard]] NEATBOUND_HOT BlockIndex ancestor_at_height(
       BlockIndex index, std::uint64_t target_height) const;
 
   /// The deepest common ancestor of two blocks.  O(log h).
-  [[nodiscard]] BlockIndex common_ancestor(BlockIndex a, BlockIndex b) const;
+  [[nodiscard]] NEATBOUND_HOT BlockIndex common_ancestor(BlockIndex a,
+                                                         BlockIndex b) const;
 
   /// Height of the deepest common ancestor — the "agreement depth" used by
   /// consistency metrics.
-  [[nodiscard]] std::uint64_t common_prefix_height(BlockIndex a,
-                                                   BlockIndex b) const;
+  [[nodiscard]] NEATBOUND_HOT std::uint64_t common_prefix_height(
+      BlockIndex a, BlockIndex b) const;
 
   /// True iff `ancestor_candidate` is on the path from `descendant` to
   /// genesis (inclusive).  O(log h).
-  [[nodiscard]] bool is_ancestor(BlockIndex ancestor_candidate,
-                                 BlockIndex descendant) const;
+  [[nodiscard]] NEATBOUND_HOT bool is_ancestor(BlockIndex ancestor_candidate,
+                                               BlockIndex descendant) const;
 
   /// The chain from genesis to `tip`, genesis first.
   [[nodiscard]] std::vector<BlockIndex> chain_to(BlockIndex tip) const;

@@ -30,6 +30,7 @@
 #include "sim/environment.hpp"
 #include "sim/metrics.hpp"
 #include "sim/miner_view.hpp"
+#include "support/hot.hpp"
 #include "support/rng.hpp"
 
 namespace neatbound::sim {
@@ -114,20 +115,22 @@ class ExecutionEngine {
  private:
   class Ops;  // AdversaryOps implementation
 
-  void deliver_due(std::uint64_t round);
-  void honest_mining_phase(std::uint64_t round);
-  void broadcast_honest(std::uint64_t round, std::uint32_t sender,
-                        protocol::BlockIndex block);
+  NEATBOUND_HOT void deliver_due(std::uint64_t round);
+  NEATBOUND_HOT void honest_mining_phase(std::uint64_t round);
+  NEATBOUND_HOT void broadcast_honest(std::uint64_t round,
+                                      std::uint32_t sender,
+                                      protocol::BlockIndex block);
   /// First-honest-receipt gossip echo (see file comment).
-  void schedule_echo(std::uint64_t first_receipt_round,
-                     protocol::BlockIndex block);
-  [[nodiscard]] std::uint64_t clamp_delay(std::uint64_t d) const noexcept;
+  NEATBOUND_HOT void schedule_echo(std::uint64_t first_receipt_round,
+                                   protocol::BlockIndex block);
+  [[nodiscard]] NEATBOUND_HOT std::uint64_t clamp_delay(
+      std::uint64_t d) const noexcept;
   /// Records that view `miner` adopted a new tip: refreshes the dense tip
   /// snapshot and the running best-tip maximum, so honest_tips() and
   /// best_honest_tip() are O(1) reads instead of per-query view scans.
   /// The tie rule (strictly greater height, or equal height from a
   /// lower-indexed view) reproduces the old lowest-index-wins scan.
-  void note_adoption(std::uint32_t miner);
+  NEATBOUND_HOT void note_adoption(std::uint32_t miner);
 
   EngineConfig config_;
   std::uint32_t honest_count_;

@@ -24,6 +24,9 @@ class Environment {
 /// checkable by the ledger-agreement metric.
 class SequentialTransactionEnvironment final : public Environment {
  public:
+  // neatbound-analyze: allow(hot-alloc) — accepted allocation boundary:
+  // message assembly runs once per *mined* block (O(p·n·T) expected, not
+  // O(n·T)), and the string it builds is the product being embedded.
   [[nodiscard]] std::string message_for(std::uint64_t round,
                                         std::uint32_t miner) override {
     return "tx@" + std::to_string(round) + "#" + std::to_string(miner) +

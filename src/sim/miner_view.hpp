@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "protocol/block_store.hpp"
+#include "support/hot.hpp"
 
 namespace neatbound::sim {
 
@@ -51,8 +52,8 @@ class MinerView {
   /// extends or does not change).  The duplicate-delivery check (gossip
   /// echoes make duplicates the single most common delivery) stays inline
   /// in the caller's loop.
-  AdoptionEvent deliver(protocol::BlockIndex block,
-                        const protocol::BlockStore& store) {
+  NEATBOUND_HOT AdoptionEvent deliver(protocol::BlockIndex block,
+                                      const protocol::BlockStore& store) {
     AdoptionEvent event;
     if (knows(block)) return event;  // duplicate delivery (echo), ignore
     deliver_fresh(block, store, event);
@@ -65,19 +66,20 @@ class MinerView {
       ~protocol::BlockIndex{0};
 
   /// Out-of-line continuation of deliver() for not-yet-known blocks.
-  void deliver_fresh(protocol::BlockIndex block,
-                     const protocol::BlockStore& store,
-                     AdoptionEvent& event);
+  NEATBOUND_HOT void deliver_fresh(protocol::BlockIndex block,
+                                   const protocol::BlockStore& store,
+                                   AdoptionEvent& event);
   /// Threads `block` into its parent's waiting list (parent unknown yet).
-  void buffer_orphan(protocol::BlockIndex parent,
-                     protocol::BlockIndex block);
+  NEATBOUND_HOT void buffer_orphan(protocol::BlockIndex parent,
+                                   protocol::BlockIndex block);
   /// Marks `block` known, then repeatedly activates buffered orphans
   /// whose parents became known.
-  void activate_ready(protocol::BlockIndex block,
-                      const protocol::BlockStore& store,
-                      AdoptionEvent& event);
-  void consider_tip(protocol::BlockIndex candidate,
-                    const protocol::BlockStore& store, AdoptionEvent& event);
+  NEATBOUND_HOT void activate_ready(protocol::BlockIndex block,
+                                    const protocol::BlockStore& store,
+                                    AdoptionEvent& event);
+  NEATBOUND_HOT void consider_tip(protocol::BlockIndex candidate,
+                                  const protocol::BlockStore& store,
+                                  AdoptionEvent& event);
 
   protocol::BlockIndex tip_;
   std::uint64_t tip_height_ = 0;  ///< height of tip_, kept in lockstep

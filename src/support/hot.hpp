@@ -1,0 +1,27 @@
+#ifndef NEATBOUND_SUPPORT_HOT_HPP
+#define NEATBOUND_SUPPORT_HOT_HPP
+
+// NEATBOUND_HOT marks a function as part of the engine's per-round hot
+// path.  The marker is consumed by scripts/neatbound_analyze.py:
+//
+//   * the function and everything reachable from it through the project
+//     call graph must be allocation-free (rule `hot-alloc`; amortized
+//     growth paths carry a `// neatbound-analyze: allow(hot-alloc)`
+//     with a written rationale);
+//   * accessor-named hot members must be const, and hot leaf functions
+//     (no project calls, no contracts, no allocation) must be noexcept
+//     (rule `hot-hygiene`).
+//
+// Under Clang the marker is also emitted into the AST as an annotate
+// attribute so the libclang front end can read it without text
+// matching.  GCC has no `annotate` attribute (and -Werror would turn
+// the resulting -Wattributes warning fatal), so elsewhere the macro
+// compiles to nothing — the analyzer's text front end matches the
+// token itself.
+#if defined(__clang__)
+#define NEATBOUND_HOT __attribute__((annotate("neatbound_hot")))
+#else
+#define NEATBOUND_HOT
+#endif
+
+#endif  // NEATBOUND_SUPPORT_HOT_HPP

@@ -1,0 +1,28 @@
+// Fixture: allowlisted contract-coverage and hot-hygiene findings.
+#pragma once
+
+#include <cstdint>
+
+#include "support/hot.hpp"
+
+namespace neatbound::net {
+
+class AllowedTracker {
+ public:
+  // neatbound-analyze: allow(contract-coverage) — fixture: total
+  // function with nothing to assert, silenced with a rationale.
+  void advance(std::uint64_t rounds) {
+    base_ += rounds;
+    width_ += rounds / 2;
+  }
+
+  // neatbound-analyze: allow(hot-hygiene) — fixture: non-const hot
+  // accessor and non-noexcept leaf, silenced.
+  NEATBOUND_HOT std::uint64_t base_of(std::size_t) { return base_; }
+
+ private:
+  std::uint64_t base_ = 0;
+  std::uint64_t width_ = 0;
+};
+
+}  // namespace neatbound::net

@@ -1,0 +1,5 @@
+#pragma once
+
+namespace neatbound::scenario {
+struct Spec {};
+}  // namespace neatbound::scenario

@@ -1,0 +1,15 @@
+// Fixture: the allow syntax must silence the layering and cycle rules.
+// No analyze-expect lines anywhere in this case: it must scan clean.
+#pragma once
+
+// neatbound-analyze: allow(layering) — fixture: proving the allowlist
+// silences a deliberate inversion with a written rationale.
+#include "scenario/spec.hpp"
+
+// neatbound-analyze: allow(include-cycle) — fixture: deliberate
+// self-include, silenced.
+#include "support/legacy_bridge.hpp"
+
+namespace neatbound::support {
+inline int bridged() { return 1; }
+}  // namespace neatbound::support

@@ -1,0 +1,7 @@
+#pragma once
+
+#include "sim/cycle_c.hpp"
+
+namespace neatbound::sim {
+inline int b() { return 2; }
+}  // namespace neatbound::sim

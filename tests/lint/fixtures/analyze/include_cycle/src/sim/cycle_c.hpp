@@ -1,0 +1,7 @@
+#pragma once
+
+#include "sim/cycle_a.hpp"
+
+namespace neatbound::sim {
+inline int c() { return 3; }
+}  // namespace neatbound::sim

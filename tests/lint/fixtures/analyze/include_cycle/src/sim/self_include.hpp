@@ -1,0 +1,9 @@
+// Fixture: a file including itself is the degenerate cycle.
+// analyze-expect: include-cycle
+#pragma once
+
+#include "sim/self_include.hpp"
+
+namespace neatbound::sim {
+inline int s() { return 4; }
+}  // namespace neatbound::sim

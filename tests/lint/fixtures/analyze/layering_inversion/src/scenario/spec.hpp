@@ -1,0 +1,6 @@
+// Target of the inversion; itself clean.
+#pragma once
+
+namespace neatbound::scenario {
+struct Spec {};
+}  // namespace neatbound::scenario

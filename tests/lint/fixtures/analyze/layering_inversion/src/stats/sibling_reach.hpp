@@ -1,0 +1,10 @@
+// Fixture: stats and protocol share layer 1 — siblings must not include
+// each other even though neither is "above" the other.
+// analyze-expect: layering
+#pragma once
+
+#include "protocol/block.hpp"
+
+namespace neatbound::stats {
+inline int uses_protocol() { return 2; }
+}  // namespace neatbound::stats

@@ -1,0 +1,10 @@
+// Fixture: a layer-0 module including a layer-5 module (the PR 5
+// scenario/json inversion, reconstructed) plus a sibling-layer include.
+// analyze-expect: layering
+#pragma once
+
+#include "scenario/spec.hpp"
+
+namespace neatbound::support {
+inline int uses_scenario() { return 1; }
+}  // namespace neatbound::support
