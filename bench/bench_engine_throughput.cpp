@@ -16,11 +16,13 @@
 // the checked-in baseline (scripts/check_perf_regression.py).
 #include <chrono>
 #include <iostream>
+#include <string>
 
 #include "exp/bench_io.hpp"
 #include "sim/runner.hpp"
 #include "support/cli.hpp"
 #include "support/table.hpp"
+#include "support/telemetry.hpp"
 
 // Stamped by bench/CMakeLists.txt; fall back loudly for ad-hoc compiles.
 #ifndef NEATBOUND_BUILD_TYPE
@@ -57,6 +59,10 @@ int main(int argc, char** argv) {
   // BENCH_history.jsonl perf trajectory.
   report.set_meta("build_type", NEATBOUND_BUILD_TYPE);
   report.set_meta("sanitize", NEATBOUND_SANITIZE_FLAGS);
+  // Telemetry provenance: the perf trajectory only accepts telemetry-OFF
+  // throughput (the timers cost a few clock reads per round); ON runs are
+  // harvested separately for the per-phase breakdown (scripts/perf_baseline).
+  report.set_meta("telemetry", telemetry::enabled() ? "ON" : "OFF");
 
   const std::uint32_t miners_axis[] = {16, 64, 160};
   const std::uint64_t delta_axis[] = {1, 4};
@@ -69,6 +75,7 @@ int main(int argc, char** argv) {
   double total_rounds = 0.0;
   double total_blocks = 0.0;
   double total_seconds = 0.0;
+  telemetry::TelemetryAccumulator telemetry_total;
   for (const std::uint32_t miners : miners_axis) {
     for (const std::uint64_t delta : delta_axis) {
       for (const double p : p_axis) {
@@ -97,6 +104,7 @@ int main(int argc, char** argv) {
         total_rounds += cell_rounds;
         total_blocks += cell_blocks;
         total_seconds += seconds;
+        telemetry_total.merge(summary.telemetry);
 
         report.add_row({std::to_string(miners), std::to_string(delta),
                         format_fixed(p, 4), format_fixed(cell_blocks, 0),
@@ -115,6 +123,26 @@ int main(int argc, char** argv) {
   report.set_meta_number("rounds_per_sec", rounds_per_sec);
   report.set_meta_number("blocks_per_sec", blocks_per_sec);
   report.set_meta_number("total_engine_seconds", total_seconds);
+  if (telemetry::enabled()) {
+    // Per-phase breakdown for the perf dashboard.  Only stamped when the
+    // timers exist; the regression gate reads rounds_per_sec alone and
+    // ignores unknown meta keys, so this is additive.
+    report.set_meta_number("telemetry_runs",
+                           static_cast<double>(telemetry_total.runs));
+    for (std::size_t c = 0; c < telemetry::kCounterCount; ++c) {
+      report.set_meta_number(
+          std::string("tel_") +
+              telemetry::counter_name(static_cast<telemetry::Counter>(c)),
+          static_cast<double>(telemetry_total.counters[c]));
+    }
+    for (std::size_t ph = 0; ph < telemetry::kPhaseCount; ++ph) {
+      report.set_meta_number(
+          std::string("tel_phase_") +
+              telemetry::phase_name(static_cast<telemetry::Phase>(ph)) +
+              "_seconds",
+          static_cast<double>(telemetry_total.phase_nanos[ph]) * 1e-9);
+    }
+  }
   report.finish();
 
   std::cout << "\naggregate: " << format_fixed(rounds_per_sec, 0)

@@ -4,6 +4,8 @@
 //                  [--miners N] [--nu X] [--delta N] [--rounds N]
 //                  [--seeds N] [--base-seed N] [--violation-t N]
 //                  [--checkpoint P] [--resume] [--stop-after-waves N]
+//                  [--trace P] [--trace-rounds A:B] [--chrome-trace P]
+//                  [--progress] [--telemetry-meta]
 //       loads a scenario file, builds the sweep grid and executes every
 //       (cell × seed) engine run on one work pool, reporting through the
 //       same stdout/CSV/JSON sink stack the benches use.  The override
@@ -18,6 +20,16 @@
 //       kill-and-resume round trip uses.  A resumed run's summary is
 //       bit-identical to an uninterrupted one.
 //
+//       Observability (docs/observability.md): --trace P streams one
+//       dedicated run (first grid point, base seed) as per-round JSONL;
+//       --trace-rounds A:B restricts the window (inclusive, 1-based);
+//       --chrome-trace P writes that run's phase timeline for
+//       chrome://tracing / Perfetto (phase events need a build with
+//       -DNEATBOUND_TELEMETRY=ON); --progress prints per-wave adaptive
+//       progress to stderr; --telemetry-meta stamps the sweep's folded
+//       telemetry counters into the report meta.  None of these change
+//       summary values: the traced run is read-only and extra.
+//
 //   neatbound_cli list [--scenarios DIR]
 //       prints every registered network model and adversary strategy
 //       (with accepted parameters), plus the *.json files in DIR when
@@ -30,6 +42,7 @@
 #include <algorithm>
 #include <exception>
 #include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <optional>
 #include <string>
@@ -40,7 +53,9 @@
 #include "scenario/report.hpp"
 #include "scenario/runner.hpp"
 #include "scenario/spec.hpp"
+#include "sim/trace.hpp"
 #include "support/cli.hpp"
+#include "support/telemetry.hpp"
 
 namespace {
 
@@ -71,6 +86,37 @@ void print_entries(
     }
   }
 }
+
+/// Stamps a sweep's folded telemetry totals as report meta numbers.
+/// Opt-in (--telemetry-meta): the keys are additive extras that perf
+/// tooling must ignore when unknown (scripts/check_perf_regression.py
+/// compares only its known metric keys).
+void stamp_telemetry_meta(exp::BenchReporter& report,
+                          const telemetry::TelemetryAccumulator& total) {
+  report.set_meta_number("telemetry_enabled",
+                         telemetry::enabled() ? 1.0 : 0.0);
+  report.set_meta_number("telemetry_runs", static_cast<double>(total.runs));
+  for (std::size_t c = 0; c < telemetry::kCounterCount; ++c) {
+    report.set_meta_number(
+        std::string("tel_") +
+            telemetry::counter_name(static_cast<telemetry::Counter>(c)),
+        static_cast<double>(total.counters[c]));
+  }
+  for (std::size_t ph = 0; ph < telemetry::kPhaseCount; ++ph) {
+    report.set_meta_number(
+        std::string("tel_phase_") +
+            telemetry::phase_name(static_cast<telemetry::Phase>(ph)) +
+            "_seconds",
+        static_cast<double>(total.phase_nanos[ph]) * 1e-9);
+  }
+}
+
+/// Swallows records: --chrome-trace without --trace still needs a traced
+/// run, just not its JSONL.
+class DiscardTraceSink final : public sim::RoundTraceSink {
+ public:
+  void on_round(const sim::RoundRecord&) override {}
+};
 
 int run_command(int argc, char** argv) {
   // `run <path> [flags]`; `run --help` (no path) still prints the flags.
@@ -113,6 +159,19 @@ int run_command(int argc, char** argv) {
   run_options.stop_after_waves = static_cast<std::uint32_t>(args.get_uint(
       "stop-after-waves", 0,
       "interrupt after N scheduling waves, exit 3 (0 = run to the end)"));
+  const std::string trace_path = args.get_string(
+      "trace", "", "write a per-round JSONL trace of one dedicated run");
+  const std::string trace_rounds_text = args.get_string(
+      "trace-rounds", "",
+      "restrict --trace to rounds A:B (inclusive, 1-based)");
+  const std::string chrome_path = args.get_string(
+      "chrome-trace", "",
+      "write the traced run's phase timeline for chrome://tracing");
+  const bool progress = args.get_bool(
+      "progress", false, "print per-wave scheduling progress to stderr");
+  const bool telemetry_meta = args.get_bool(
+      "telemetry-meta", false,
+      "stamp folded telemetry counters into the report meta");
   const exp::BenchOptions io = exp::parse_bench_options(args);
   if (args.handle_help(std::cout)) return 0;
   if (!has_path) {
@@ -131,6 +190,41 @@ int run_command(int argc, char** argv) {
     std::cerr
         << "neatbound_cli run: --stop-after-waves needs --checkpoint PATH\n";
     return 2;
+  }
+  if (trace_path == "true") {
+    std::cerr << "neatbound_cli run: --trace expects a path\n";
+    return 2;
+  }
+  if (chrome_path == "true") {
+    std::cerr << "neatbound_cli run: --chrome-trace expects a path\n";
+    return 2;
+  }
+  sim::TraceBounds trace_bounds;
+  if (!trace_rounds_text.empty()) {
+    if (trace_path.empty()) {
+      std::cerr << "neatbound_cli run: --trace-rounds needs --trace PATH\n";
+      return 2;
+    }
+    try {
+      trace_bounds = sim::parse_trace_rounds(trace_rounds_text);
+    } catch (const std::invalid_argument& e) {
+      std::cerr << "neatbound_cli run: --trace-rounds: " << e.what() << "\n";
+      return 2;
+    }
+  }
+  if (progress) {
+    // Wave boundaries only exist on the adaptive path; the printer below
+    // is why plain specs with --progress run their fixed budget there
+    // (bit-identical summaries, see resolve_adaptive_options).
+    run_options.progress = [](const exp::WaveProgress& p) {
+      std::cerr << "# wave " << p.wave << ": " << p.cells_stopped << "/"
+                << p.cells_total << " cells stopped, " << p.seeds_spent
+                << " seeds spent";
+      if (p.cells_stopped < p.cells_total) {
+        std::cerr << ", widest half-width " << p.widest_half_width;
+      }
+      std::cerr << "\n";
+    };
   }
 
   scenario::ScenarioSpec spec = scenario::load_scenario_file(path);
@@ -154,16 +248,69 @@ int run_command(int argc, char** argv) {
   // there (bit-identical summaries), so checkpointing is universal.
   const bool adaptive_path = spec.adaptive.has_value() ||
                              !run_options.checkpoint_path.empty() ||
-                             run_options.stop_after_waves != 0;
+                             run_options.stop_after_waves != 0 || progress;
 
   exp::BenchReporter report(spec.name, io);
   scenario::stamp_meta(spec, report);
   const auto& registry = scenario::ScenarioRegistry::builtin();
+
+  // One dedicated traced run (first grid point, base seed) after the
+  // sweep: the sweep itself stays untraced and full-speed, and the
+  // traced run's summary is bit-identical anyway (read-only observer).
+  const auto write_traces = [&]() {
+    if (trace_path.empty() && chrome_path.empty()) return;
+    std::optional<std::ofstream> trace_os;
+    std::optional<sim::BoundedTraceWriter> writer;
+    DiscardTraceSink discard;
+    sim::RoundTraceSink* sink = &discard;
+    if (!trace_path.empty()) {
+      trace_os.emplace(trace_path, std::ios::trunc);
+      if (!*trace_os) {
+        throw std::runtime_error("cannot open " + trace_path +
+                                 " for writing");
+      }
+      writer.emplace(*trace_os, trace_bounds);
+      sink = &*writer;
+    }
+    (void)scenario::run_scenario_trace(spec, registry, *sink);
+    if (writer) {
+      std::cout << "# trace: " << writer->records_written()
+                << " round(s) -> " << trace_path
+                << (writer->truncated() ? " (truncated at record cap)" : "")
+                << "\n";
+    }
+    if (!chrome_path.empty()) {
+      std::ofstream os(chrome_path, std::ios::trunc);
+      if (!os) {
+        throw std::runtime_error("cannot open " + chrome_path +
+                                 " for writing");
+      }
+      // The traced run executed on this thread, so the thread-local
+      // phase registry holds exactly its timeline.
+      telemetry::write_chrome_trace(os, telemetry::phase_events(),
+                                    telemetry::snapshot());
+      std::cout << "# chrome-trace: -> " << chrome_path;
+      if (!telemetry::enabled()) {
+        std::cout << " (telemetry compiled out — no phase events; rebuild "
+                     "with -DNEATBOUND_TELEMETRY=ON)";
+      }
+      std::cout << "\n";
+    }
+  };
+
   if (!adaptive_path) {
     const std::vector<exp::SweepCell> cells =
         scenario::run_scenario(spec, registry, run_options);
+    if (telemetry_meta) {
+      telemetry::TelemetryAccumulator total;
+      for (const exp::SweepCell& cell : cells) {
+        total.merge(cell.summary.telemetry);
+      }
+      stamp_telemetry_meta(report, total);
+    }
     scenario::render_report(spec, cells, report);
     report.finish();
+    write_traces();
     return 0;
   }
 
@@ -172,6 +319,13 @@ int run_command(int argc, char** argv) {
   report.set_meta_number("engine_runs",
                          static_cast<double>(result.engine_runs));
   report.set_meta_number("waves", static_cast<double>(result.waves));
+  if (telemetry_meta) {
+    telemetry::TelemetryAccumulator total;
+    for (const exp::AdaptiveCell& cell : result.cells) {
+      total.merge(cell.cell.summary.telemetry);
+    }
+    stamp_telemetry_meta(report, total);
+  }
   if (!result.complete) {
     // Interrupted by --stop-after-waves: the checkpoint (if any) holds
     // the partial state; no report rows — the resumed run renders them.
@@ -184,6 +338,7 @@ int run_command(int argc, char** argv) {
   }
   scenario::render_adaptive_report(spec, result.cells, report);
   report.finish();
+  write_traces();
   return 0;
 }
 

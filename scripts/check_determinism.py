@@ -11,8 +11,14 @@ break that contract in simulation codebases:
                             from the seeded support/rng.hpp stream.
   wall-clock                std::chrono::system_clock /
                             high_resolution_clock.  steady_clock is
-                            allowed (elapsed-time metadata only; the
-                            parity tests normalize elapsed_seconds out).
+                            allowed only via the rule below.
+  raw-steady-clock          std::chrono::steady_clock anywhere except
+                            src/support/telemetry.{hpp,cpp} — the one
+                            sanctioned timing point (phase scopes, the
+                            reporter's elapsed_seconds routes through an
+                            explicit allow).  Clock reads scattered
+                            through sim code eventually leak into output
+                            or, worse, into control flow.
   time-seeded-rng           any RNG or seed expression built from a
                             clock's now() — allowed clocks included.
   unordered-iteration       iterating an unordered_map/unordered_set.
@@ -90,7 +96,19 @@ SIMPLE_RULES = {
     ],
 }
 
-ALL_RULES = sorted(list(SIMPLE_RULES) + ["unordered-iteration"])
+# Rules whose verdict depends on *where* the code lives: the pattern is
+# banned tree-wide except in the named root-relative files.  Fixtures
+# (scanned with relpath=None) are never exempt, so self-test can prove
+# the rule fires.
+PATH_RULES = {
+    "raw-steady-clock": {
+        "patterns": [re.compile(r"steady_clock")],
+        "exempt": ("src/support/telemetry.hpp", "src/support/telemetry.cpp"),
+    },
+}
+
+ALL_RULES = sorted(
+    list(SIMPLE_RULES) + list(PATH_RULES) + ["unordered-iteration"])
 
 
 def allowed_rules(raw_lines: list[str], lineno: int) -> set[str]:
@@ -105,8 +123,11 @@ def allowed_rules(raw_lines: list[str], lineno: int) -> set[str]:
     return rules
 
 
-def scan_file(path: pathlib.Path) -> list[tuple[int, str, str]]:
-    """Returns (line, rule, excerpt) findings for one file."""
+def scan_file(path: pathlib.Path,
+              relpath: str | None = None) -> list[tuple[int, str, str]]:
+    """Returns (line, rule, excerpt) findings for one file.  `relpath` is
+    the root-relative POSIX path, consulted by PATH_RULES exemptions;
+    None (fixtures) means no exemption applies."""
     text = path.read_text(encoding="utf-8")
     raw = text.splitlines()
     # Shared lexer: blanks comments AND string literals (raw strings,
@@ -122,6 +143,11 @@ def scan_file(path: pathlib.Path) -> list[tuple[int, str, str]]:
         hits: set[str] = set()
         for rule, patterns in SIMPLE_RULES.items():
             if any(p.search(line) for p in patterns):
+                hits.add(rule)
+        for rule, spec in PATH_RULES.items():
+            if relpath in spec["exempt"]:
+                continue
+            if any(p.search(line) for p in spec["patterns"]):
                 hits.add(rule)
         for match in RANGE_FOR.finditer(line):
             target = re.split(r"\.|->", match.group(1))[-1]
@@ -147,7 +173,8 @@ def lint_tree(root: pathlib.Path) -> int:
         for path in sorted(base.rglob("*")):
             if path.suffix not in (".hpp", ".cpp"):
                 continue
-            for lineno, rule, excerpt in scan_file(path):
+            for lineno, rule, excerpt in scan_file(
+                    path, path.relative_to(root).as_posix()):
                 print(f"FAIL: {path.relative_to(root)}:{lineno}: [{rule}] "
                       f"{excerpt}", file=sys.stderr)
                 failures += 1

@@ -1,0 +1,304 @@
+#!/usr/bin/env python3
+"""Validate a neatbound round-trace JSONL file (and optionally a Chrome
+trace) against the documented schema.
+
+Usage:
+    check_trace.py TRACE.jsonl [--chrome CHROME.json] [--allow-empty]
+    check_trace.py --self-test
+
+This is the CI-side half of the trace contract: `neatbound_cli run
+--trace` promises the schema documented in docs/observability.md, and
+this checker fails the build when a record drifts from it.  Checks per
+record (one JSON object per line):
+
+  * exactly the eight keys: round, honest_mined, adversary_mined,
+    mined_by, delivered, adoptions, best_height, violation_depth
+  * every value a non-negative integer; mined_by a list of them
+  * len(mined_by) == honest_mined (one miner id per honest block)
+  * round >= 1 and strictly increasing across records
+  * best_height and violation_depth nondecreasing (both are running
+    maxima inside the engine)
+  * adoptions <= delivered + honest_mined (a tip switch only happens
+    on a delivery or on mining one's own block)
+
+--chrome additionally validates the exporter output: a JSON object with
+a "traceEvents" list whose events carry a "ph" in {M, X, I}, with
+complete ("X") events holding non-negative integer ts/dur.
+
+Plain python3, stdlib only.  Exit 0 on success, 1 on violations.
+"""
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+TRACE_KEYS = (
+    "round",
+    "honest_mined",
+    "adversary_mined",
+    "mined_by",
+    "delivered",
+    "adoptions",
+    "best_height",
+    "violation_depth",
+)
+
+
+def _is_uint(value: object) -> bool:
+    # bool is an int subclass; a JSON true/false here is schema drift.
+    return isinstance(value, int) and not isinstance(value, bool) and value >= 0
+
+
+def check_trace_lines(lines: list[str], *, allow_empty: bool = False,
+                      label: str = "trace") -> list[str]:
+    """Return a list of human-readable violations (empty == valid)."""
+    errors: list[str] = []
+    records = 0
+    prev_round = 0
+    prev_best_height = -1
+    prev_violation_depth = -1
+    for lineno, line in enumerate(lines, start=1):
+        where = f"{label}:{lineno}"
+        line = line.strip()
+        if not line:
+            errors.append(f"{where}: blank line inside trace")
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            errors.append(f"{where}: not valid JSON: {exc}")
+            continue
+        if not isinstance(record, dict):
+            errors.append(f"{where}: record is not a JSON object")
+            continue
+        keys = set(record)
+        expected = set(TRACE_KEYS)
+        if keys != expected:
+            missing = sorted(expected - keys)
+            extra = sorted(keys - expected)
+            detail = []
+            if missing:
+                detail.append(f"missing {missing}")
+            if extra:
+                detail.append(f"unexpected {extra}")
+            errors.append(f"{where}: wrong key set ({', '.join(detail)})")
+            continue
+        bad_type = False
+        for key in TRACE_KEYS:
+            if key == "mined_by":
+                continue
+            if not _is_uint(record[key]):
+                errors.append(f"{where}: {key} must be a non-negative "
+                              f"integer, got {record[key]!r}")
+                bad_type = True
+        mined_by = record["mined_by"]
+        if not isinstance(mined_by, list) or not all(
+                _is_uint(m) for m in mined_by):
+            errors.append(f"{where}: mined_by must be a list of "
+                          f"non-negative integers, got {mined_by!r}")
+            bad_type = True
+        if bad_type:
+            continue
+        records += 1
+        if record["round"] < 1:
+            errors.append(f"{where}: round is 1-based, got "
+                          f"{record['round']}")
+        if record["round"] <= prev_round:
+            errors.append(f"{where}: round {record['round']} not strictly "
+                          f"greater than previous round {prev_round}")
+        prev_round = record["round"]
+        if len(mined_by) != record["honest_mined"]:
+            errors.append(f"{where}: len(mined_by)={len(mined_by)} != "
+                          f"honest_mined={record['honest_mined']}")
+        if record["best_height"] < prev_best_height:
+            errors.append(f"{where}: best_height decreased "
+                          f"({prev_best_height} -> {record['best_height']})")
+        prev_best_height = record["best_height"]
+        if record["violation_depth"] < prev_violation_depth:
+            errors.append(f"{where}: violation_depth decreased "
+                          f"({prev_violation_depth} -> "
+                          f"{record['violation_depth']})")
+        prev_violation_depth = record["violation_depth"]
+        if record["adoptions"] > record["delivered"] + record["honest_mined"]:
+            errors.append(f"{where}: adoptions={record['adoptions']} exceeds "
+                          f"delivered+honest_mined="
+                          f"{record['delivered'] + record['honest_mined']}")
+    if records == 0 and not allow_empty:
+        errors.append(f"{label}: no trace records (pass --allow-empty if the "
+                      f"window was intentionally out of range)")
+    return errors
+
+
+def check_chrome_trace(text: str, *, label: str = "chrome") -> list[str]:
+    """Validate the shape of a write_chrome_trace export."""
+    errors: list[str] = []
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as exc:
+        return [f"{label}: not valid JSON: {exc}"]
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        return [f"{label}: expected an object with a traceEvents key"]
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        return [f"{label}: traceEvents is not a list"]
+    phases = set()
+    for i, event in enumerate(events):
+        where = f"{label}: traceEvents[{i}]"
+        if not isinstance(event, dict):
+            errors.append(f"{where}: event is not an object")
+            continue
+        ph = event.get("ph")
+        if ph not in ("M", "X", "I"):
+            errors.append(f"{where}: unexpected phase {ph!r}")
+            continue
+        phases.add(ph)
+        if "name" not in event:
+            errors.append(f"{where}: missing name")
+        if ph == "X":
+            for key in ("ts", "dur"):
+                if not _is_uint(event.get(key)):
+                    errors.append(f"{where}: {key} must be a non-negative "
+                                  f"integer, got {event.get(key)!r}")
+    if "M" not in phases:
+        errors.append(f"{label}: no metadata (\"M\") event — process_name "
+                      f"record is part of the exporter contract")
+    return errors
+
+
+# --- self-test ---------------------------------------------------------
+
+def _record(**overrides: object) -> dict:
+    base = {"round": 1, "honest_mined": 1, "adversary_mined": 0,
+            "mined_by": [3], "delivered": 0, "adoptions": 1,
+            "best_height": 1, "violation_depth": 0}
+    base.update(overrides)
+    return base
+
+
+_GOOD_TRACE = [
+    json.dumps(_record()),
+    json.dumps(_record(round=2, honest_mined=0, mined_by=[], delivered=4,
+                       adoptions=2, best_height=2)),
+    json.dumps(_record(round=5, honest_mined=2, mined_by=[0, 7], delivered=3,
+                       adoptions=4, best_height=2, violation_depth=3)),
+]
+
+# (case name, lines, substring that must appear in some violation)
+_BAD_TRACES = [
+    ("not-json", ["{nope"], "not valid JSON"),
+    ("not-object", ["[1, 2]"], "not a JSON object"),
+    ("missing-key", [json.dumps({k: v for k, v in _record().items()
+                                 if k != "delivered"})], "wrong key set"),
+    ("extra-key", [json.dumps({**_record(), "extra": 1})], "wrong key set"),
+    ("bool-count", [json.dumps(_record(delivered=True))],
+     "non-negative integer"),
+    ("negative", [json.dumps(_record(best_height=-1))],
+     "non-negative integer"),
+    ("mined-by-type", [json.dumps(_record(mined_by=["a"]))],
+     "mined_by must be a list"),
+    ("mined-by-len", [json.dumps(_record(honest_mined=2))],
+     "len(mined_by)"),
+    ("zero-round", [json.dumps(_record(round=0))], "1-based"),
+    ("round-order", [json.dumps(_record(round=3)),
+                     json.dumps(_record(round=3))], "strictly greater"),
+    ("height-drop", [json.dumps(_record(best_height=5)),
+                     json.dumps(_record(round=2, best_height=4))],
+     "best_height decreased"),
+    ("violation-drop", [json.dumps(_record(violation_depth=2)),
+                        json.dumps(_record(round=2))],
+     "violation_depth decreased"),
+    ("adoption-bound", [json.dumps(_record(adoptions=9))],
+     "adoptions=9 exceeds"),
+    ("blank-line", [json.dumps(_record()), ""], "blank line"),
+    ("empty", [], "no trace records"),
+]
+
+_GOOD_CHROME = json.dumps({"traceEvents": [
+    {"ph": "M", "name": "process_name", "pid": 1,
+     "args": {"name": "neatbound"}},
+    {"ph": "X", "name": "deliver", "pid": 1, "tid": 1, "ts": 0, "dur": 12},
+    {"ph": "I", "name": "counters", "pid": 1, "tid": 1, "ts": 0, "s": "g",
+     "args": {"deliveries": 4}},
+]})
+
+_BAD_CHROMES = [
+    ("chrome-not-json", "{", "not valid JSON"),
+    ("chrome-no-events", json.dumps({"foo": []}), "traceEvents"),
+    ("chrome-bad-phase", json.dumps({"traceEvents": [
+        {"ph": "M", "name": "process_name"}, {"ph": "Z", "name": "x"}]}),
+     "unexpected phase"),
+    ("chrome-bad-dur", json.dumps({"traceEvents": [
+        {"ph": "M", "name": "process_name"},
+        {"ph": "X", "name": "deliver", "ts": 0, "dur": -3}]}),
+     "dur must be a non-negative integer"),
+    ("chrome-no-meta", json.dumps({"traceEvents": [
+        {"ph": "X", "name": "deliver", "ts": 0, "dur": 1}]}),
+     "no metadata"),
+]
+
+
+def self_test() -> int:
+    failures = []
+    errors = check_trace_lines(_GOOD_TRACE, label="good")
+    if errors:
+        failures.append(f"good trace flagged: {errors}")
+    if check_trace_lines([], allow_empty=True, label="empty-ok"):
+        failures.append("--allow-empty did not accept an empty trace")
+    for name, lines, needle in _BAD_TRACES:
+        errors = check_trace_lines(lines, label=name)
+        if not any(needle in e for e in errors):
+            failures.append(f"{name}: expected a violation containing "
+                            f"{needle!r}, got {errors}")
+    if check_chrome_trace(_GOOD_CHROME, label="good-chrome"):
+        failures.append("good chrome trace flagged")
+    for name, text, needle in _BAD_CHROMES:
+        errors = check_chrome_trace(text, label=name)
+        if not any(needle in e for e in errors):
+            failures.append(f"{name}: expected a violation containing "
+                            f"{needle!r}, got {errors}")
+    if failures:
+        for failure in failures:
+            print(f"self-test FAILED: {failure}")
+        return 1
+    print(f"OK: {len(_BAD_TRACES)} bad traces and {len(_BAD_CHROMES)} bad "
+          f"chrome exports rejected, good ones accepted")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace", nargs="?",
+                        help="round-trace JSONL file from --trace")
+    parser.add_argument("--chrome",
+                        help="Chrome trace JSON from --chrome-trace")
+    parser.add_argument("--allow-empty", action="store_true",
+                        help="accept a trace with zero records")
+    parser.add_argument("--self-test", action="store_true",
+                        help="validate the checker against known-bad inputs")
+    args = parser.parse_args()
+    if args.self_test:
+        return self_test()
+    if args.trace is None and args.chrome is None:
+        parser.error("need a TRACE.jsonl, --chrome, or --self-test")
+    errors: list[str] = []
+    if args.trace is not None:
+        with open(args.trace, encoding="utf-8") as fh:
+            lines = fh.read().splitlines()
+        errors += check_trace_lines(lines, allow_empty=args.allow_empty,
+                                    label=args.trace)
+    if args.chrome is not None:
+        with open(args.chrome, encoding="utf-8") as fh:
+            errors += check_chrome_trace(fh.read(), label=args.chrome)
+    for error in errors:
+        print(error)
+    if errors:
+        print(f"FAILED: {len(errors)} violation(s)")
+        return 1
+    checked = [p for p in (args.trace, args.chrome) if p is not None]
+    print(f"OK: {', '.join(checked)} conform to the trace schema")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

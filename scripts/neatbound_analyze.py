@@ -42,7 +42,19 @@ regress — each rule encodes a bug class a previous PR fixed by hand:
   hot-hygiene         NEATBOUND_HOT functions keep their declared
                       hygiene: accessor-named members are const, and a
                       hot *leaf* (no project calls, no contract macros,
-                      no throw, no allocation) is noexcept.
+                      no throw, no allocation) is noexcept.  Telemetry
+                      macros (srcmodel.TELEMETRY_MACROS) are invisible
+                      to both the call graph and leaf-ness: counting a
+                      function never changes its classification.
+  trace-io            simulation-core modules (sim/, net/, protocol/)
+                      must not open files or use C stdio writers.  Every
+                      structured per-round stream goes through the one
+                      sanctioned serialization point,
+                      sim::BoundedTraceWriter (src/sim/trace.cpp, the
+                      rule's only exemption), writing to a caller-owned
+                      ostream — so output stays bounded, schema'd, and
+                      out of the engine's hot path.  Report/sink I/O
+                      lives in exp/ and support/, outside this rule.
 
 Allowlist syntax (same line as the finding or the line above):
 
@@ -102,7 +114,7 @@ LAYERS: dict[str, int] = {
 
 ALL_RULES = [
     "layering", "include-cycle", "hot-alloc", "rng-stream",
-    "contract-coverage", "hot-hygiene",
+    "contract-coverage", "hot-hygiene", "trace-io",
 ]
 
 DAG_TEXT = ("support → stats/protocol/markov → net/chains → sim/bounds → "
@@ -136,6 +148,17 @@ RNG_PATTERNS = [
      "std RNG engine: sequential hidden state blocks addressable streams"),
     (re.compile(r"#\s*include\s*<random>"),
      "<random> is banned in src/ and cli/"),
+]
+
+# Simulation-core modules may not grow private file writers; the single
+# exemption is the sanctioned bounded trace serializer.
+TRACE_IO_MODULES = {"sim", "net", "protocol"}
+TRACE_IO_EXEMPT = {"src/sim/trace.cpp"}
+TRACE_IO_PATTERNS = [
+    (re.compile(r"\bo?fstream\b"), "file stream construction"),
+    (re.compile(r"\bfreopen\s*\(|\bfopen\s*\("), "C stdio open"),
+    (re.compile(r"\bFILE\s*\*"), "FILE* handle"),
+    (re.compile(r"\bf(printf|write|puts|putc)\s*\("), "C stdio write"),
 ]
 
 ACCESSOR_NAME = re.compile(
@@ -417,6 +440,7 @@ def run_rules(model: Model) -> list[Finding]:
     findings += rule_hot_alloc(model)
     findings += rule_contract_coverage(model)
     findings += rule_hot_hygiene(model)
+    findings += rule_trace_io(model)
     kept = []
     for f in sorted(findings, key=Finding.key):
         fm = model.files.get(f.rel)
@@ -712,6 +736,26 @@ def rule_hot_hygiene(model: Model) -> list[Finding]:
                     fm.rel, f.line, "hot-hygiene",
                     f"hot leaf function '{f.qualified}' (no project calls, "
                     f"no contracts, no allocation) should be noexcept"))
+    return out
+
+
+# --- rule: trace-io ---------------------------------------------------------
+
+def rule_trace_io(model: Model) -> list[Finding]:
+    out = []
+    for fm in model.files.values():
+        if fm.module not in TRACE_IO_MODULES or fm.rel in TRACE_IO_EXEMPT:
+            continue
+        for lineno, line in enumerate(fm.code_lines, 1):
+            for pattern, what in TRACE_IO_PATTERNS:
+                if pattern.search(line):
+                    out.append(Finding(
+                        fm.rel, lineno, "trace-io",
+                        f"{what} in simulation-core module '{fm.module}': "
+                        f"route structured output through "
+                        f"sim::BoundedTraceWriter (sim/trace.hpp) and let "
+                        f"the caller own the stream"))
+                    break
     return out
 
 

@@ -200,6 +200,16 @@ STD_MEMBER_NAMES = {
     "bit_width", "apply", "visit", "tie",
 }
 
+# The telemetry macro surface (support/telemetry.hpp).  ALL-UPPERCASE
+# names are already invisible to the call graph (_IDENT_CALL filters
+# them), but analyzers need the set to (a) treat the macros like the
+# invariant/contract macros on side-effect-sensitive checks and (b) make
+# clear that instrumentation does NOT change a function's hot-path
+# classification.
+TELEMETRY_MACROS = {
+    "NEATBOUND_COUNT", "NEATBOUND_COUNT_ADD", "NEATBOUND_PHASE_SCOPE",
+}
+
 _IDENT_CALL = re.compile(r"([A-Za-z_]\w*)\s*\(")
 _TRAILING_NAME = re.compile(
     r"(?:([A-Za-z_]\w*)\s*::\s*)?(~?[A-Za-z_]\w*)\s*$")
@@ -229,6 +239,7 @@ class Function:
     calls: set[str] = dataclasses.field(default_factory=set)
     statements: int = 0       # ';' count in the body
     contains_contract: bool = False  # NEATBOUND_{EXPECTS,ENSURES,INVARIANT}
+    contains_telemetry: bool = False  # any TELEMETRY_MACROS use in the body
     contains_throw: bool = False
     body_lines: tuple[int, int] = (0, 0)  # 1-based inclusive body extent
 
@@ -450,6 +461,8 @@ def _finish(ctx, code, end, line_of) -> Function:
         statements=body.count(";"),
         contains_contract=bool(
             re.search(r"NEATBOUND_(EXPECTS|ENSURES|INVARIANT)\b", body)),
+        contains_telemetry=bool(
+            re.search(r"NEATBOUND_(COUNT|COUNT_ADD|PHASE_SCOPE)\b", body)),
         contains_throw=bool(re.search(r"\bthrow\b", body)),
         body_lines=(line_of(body_start), line_of(end - 1)),
     )

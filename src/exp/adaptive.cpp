@@ -216,6 +216,21 @@ WaveLoopOutcome run_waves(std::vector<CellState>& cells,
           adaptive.checkpoint_path,
           snapshot_cells(cells, fingerprint, outcome.waves_total));
     }
+    if (adaptive.progress) {
+      WaveProgress progress;
+      progress.wave = outcome.waves_total;
+      progress.cells_total = cells.size();
+      for (const CellState& cell : cells) {
+        if (cell.stopped) ++progress.cells_stopped;
+        progress.seeds_spent += cell.seeds_done;
+        if (!cell.stopped && cell.seeds_done > 0) {
+          progress.widest_half_width = std::max(
+              progress.widest_half_width,
+              stats::wilson_half_width(cell.violations, cell.seeds_done, z));
+        }
+      }
+      adaptive.progress(progress);
+    }
     if (adaptive.stop_after_waves != 0 &&
         waves_this_process >= adaptive.stop_after_waves &&
         std::any_of(cells.begin(), cells.end(),
@@ -306,6 +321,7 @@ MidpointEstimate evaluate_midpoint(const GridPoint& point,
   local.checkpoint_path.clear();
   local.resume = false;
   local.stop_after_waves = 0;
+  local.progress = nullptr;  // midpoint waves are internal, not user-visible
   std::vector<CellState> cell;
   cell.push_back({point, build(point), {}, 0, 0, false, false});
   (void)run_waves(cell, options, local, factory, 0);

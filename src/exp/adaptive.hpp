@@ -34,6 +34,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -41,6 +42,19 @@
 #include "stats/intervals.hpp"
 
 namespace neatbound::exp {
+
+/// One wave boundary's progress, as passed to AdaptiveOptions::progress.
+/// Pure observation: values are computed from cell state the stopping
+/// rule already settled, after the checkpoint (if any) was written.
+struct WaveProgress {
+  std::uint64_t wave = 0;          ///< waves completed so far (resumed incl.)
+  std::size_t cells_total = 0;
+  std::size_t cells_stopped = 0;
+  std::uint64_t seeds_spent = 0;   ///< Σ seeds_done over all cells
+  /// Widest current Wilson half-width among still-open cells; 0 when
+  /// every cell has stopped.
+  double widest_half_width = 0.0;
+};
 
 struct AdaptiveOptions {
   std::uint32_t min_seeds = 4;   ///< wave-0 budget for every cell
@@ -67,6 +81,11 @@ struct AdaptiveOptions {
   /// 0 = run to completion.  This is the deterministic "kill" hook the
   /// resume tests and the CI round-trip use.
   std::uint32_t stop_after_waves = 0;
+  /// Invoked once per completed wave, after stopping decisions and the
+  /// checkpoint write.  Observation only — it cannot influence the
+  /// schedule, is not part of the checkpoint fingerprint, and a callback
+  /// that writes to stderr keeps stdout streams (CSV/JSON) clean.
+  std::function<void(const WaveProgress&)> progress;
 };
 
 /// One finished cell: the plain sweep cell plus the adaptive verdict.

@@ -4,6 +4,7 @@
 #include <bit>
 
 #include "support/invariant.hpp"
+#include "support/telemetry.hpp"
 
 namespace neatbound::net {
 
@@ -40,6 +41,7 @@ void DeliveryCalendar::schedule(std::uint64_t due_round,
   // shrunk), so steady-state scheduling allocates nothing.
   bucket_at(round).push_back(Pending{recipient, block});
   ++pending_;
+  NEATBOUND_COUNT(kCalendarScheduled);
 }
 
 // neatbound-analyze: allow(contract-coverage) — thin cold wrapper: the
@@ -56,6 +58,7 @@ std::vector<Delivery> DeliveryCalendar::collect_due(std::uint64_t round) {
 // re-bucketing the ring is rare by design (power-of-two growth capped at
 // kMaxSpan), and schedule() only enters it when the horizon is exceeded.
 void DeliveryCalendar::grow(std::uint64_t span) {
+  NEATBOUND_COUNT(kCalendarGrows);
   const std::uint64_t old_size = buckets_.size();
   std::vector<std::vector<Pending>> grown(std::bit_ceil(span));
   // Every pending entry lives in [base_round_, base_round_ + old span);

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "support/invariant.hpp"
+#include "support/telemetry.hpp"
 
 namespace neatbound::protocol {
 
@@ -76,6 +77,7 @@ BlockIndex BlockStore::add(Block block) {
     return rows;
   }();
   if (skip_.size() < needed_rows) {
+    NEATBOUND_COUNT(kSkipRowsBuilt);
     skip_.emplace_back(index, kGenesisIndex);
     NEATBOUND_ENSURES(skip_.size() == needed_rows,
                       "heights grow by one, so rows appear one at a time");
@@ -128,6 +130,7 @@ BlockIndex BlockStore::ancestor(BlockIndex index, std::uint64_t steps) const {
 
 BlockIndex BlockStore::ancestor_at_height(BlockIndex index,
                                           std::uint64_t target_height) const {
+  NEATBOUND_COUNT(kAncestryQueries);
   check_index(index);
   NEATBOUND_EXPECTS(target_height <= height_[index],
                     "target height above the block");
@@ -139,6 +142,7 @@ BlockIndex BlockStore::ancestor_at_height(BlockIndex index,
 }
 
 BlockIndex BlockStore::common_ancestor(BlockIndex a, BlockIndex b) const {
+  NEATBOUND_COUNT(kAncestryQueries);
   check_index(a);
   check_index(b);
   // Equalize heights with skip jumps, then binary-search the fork point.

@@ -133,6 +133,7 @@ exp::AdaptiveOptions resolve_adaptive_options(
   adaptive.checkpoint_path = options.checkpoint_path;
   adaptive.resume = options.resume;
   adaptive.stop_after_waves = options.stop_after_waves;
+  adaptive.progress = options.progress;
   // The automatic fingerprint only sees engine configs; the registry
   // components (and their parameters) decide what those configs *run*,
   // so they are part of the sweep's identity too.
@@ -163,6 +164,20 @@ exp::AdaptiveSweepResult run_scenario_adaptive(
       grid, build,
       {.violation_t = spec.violation_t, .threads = options.threads},
       resolve_adaptive_options(spec, options), factory);
+}
+
+sim::RunResult run_scenario_trace(const ScenarioSpec& spec,
+                                  const ScenarioRegistry& registry,
+                                  sim::RoundTraceSink& sink) {
+  const exp::SweepGrid grid = build_grid(spec);
+  sim::EngineConfig engine_config = build_config(spec, grid.point(0)).engine;
+  engine_config.seed = spec.base_seed;
+  sim::ExecutionEngine engine(
+      engine_config,
+      registry.make_adversary(spec.network.kind, spec.network.params,
+                              spec.adversary.kind, spec.adversary.params,
+                              engine_config));
+  return engine.run(sim::make_round_tracer(sink));
 }
 
 void stamp_meta(const ScenarioSpec& spec, exp::BenchReporter& reporter) {

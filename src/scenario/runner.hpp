@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
@@ -19,6 +20,7 @@
 #include "exp/orchestrator.hpp"
 #include "scenario/registry.hpp"
 #include "scenario/spec.hpp"
+#include "sim/trace.hpp"
 
 namespace neatbound::exp {
 class BenchReporter;
@@ -59,6 +61,10 @@ struct ScenarioRunOptions {
   /// Interrupt deterministically after N scheduling waves (0 = run to
   /// completion) — the CI/resume-test hook, surfaced by the CLI.
   std::uint32_t stop_after_waves = 0;
+  /// Wave-boundary progress callback, forwarded into
+  /// exp::AdaptiveOptions::progress (adaptive path only; observation
+  /// only, not part of the checkpoint fingerprint).
+  std::function<void(const exp::WaveProgress&)> progress;
 };
 
 /// Fail-fast validation shared by run/describe: resolves the first grid
@@ -91,6 +97,17 @@ void validate_components(const ScenarioSpec& spec,
 [[nodiscard]] exp::AdaptiveSweepResult run_scenario_adaptive(
     const ScenarioSpec& spec, const ScenarioRegistry& registry,
     const ScenarioRunOptions& options);
+
+/// One dedicated traced engine run: the spec's *first* grid point (the
+/// same cell validate_components probes), engine seed = spec.base_seed,
+/// adversary and network built through the registry.  Every round is
+/// streamed into `sink` as a sim::RoundRecord; the returned RunResult is
+/// bit-identical to the same config's untraced run (the tracer is a
+/// read-only observer).  Trace runs are deliberately single-run: the
+/// multi-seed sweep stays untraced and full-speed.
+[[nodiscard]] sim::RunResult run_scenario_trace(
+    const ScenarioSpec& spec, const ScenarioRegistry& registry,
+    sim::RoundTraceSink& sink);
 
 /// Stamps the standard meta numbers (miners, delta, rounds, seeds — the
 /// keys the engine benches stamp) plus the spec's extra meta entries.

@@ -46,7 +46,7 @@ class OpportunityCounter {
 };
 
 AggregateResult run_impl(const AggregateConfig& config,
-                         std::vector<std::uint32_t>* trace) {
+                         RoundTraceSink* sink) {
   NEATBOUND_EXPECTS(config.honest_trials > 0.0, "need honest trials > 0");
   NEATBOUND_EXPECTS(config.adversary_trials >= 0.0,
                     "adversary trials must be >= 0");
@@ -64,10 +64,6 @@ AggregateResult run_impl(const AggregateConfig& config,
   Rng rng(config.seed);
   OpportunityCounter counter(config.delta);
   AggregateResult result;
-  if (trace != nullptr) {
-    trace->clear();
-    trace->reserve(config.rounds);
-  }
   for (std::uint64_t t = 0; t < config.rounds; ++t) {
     const auto h = static_cast<std::uint32_t>(rng.binomial(honest_n, config.p));
     const std::uint64_t a =
@@ -77,11 +73,31 @@ AggregateResult run_impl(const AggregateConfig& config,
     result.adversary_blocks += a;
     if (h >= 1) ++result.h_rounds;
     if (h == 1) ++result.h1_rounds;
-    if (trace != nullptr) trace->push_back(h);
+    if (sink != nullptr) {
+      RoundRecord record;
+      record.round = t + 1;  // engine rounds are 1-based
+      record.honest_mined = h;
+      record.adversary_mined = static_cast<std::uint32_t>(a);
+      sink->on_round(record);
+    }
   }
   result.convergence_opportunities = counter.count();
   return result;
 }
+
+/// The legacy honest-count vector as a RoundTraceSink — the shim that
+/// keeps the old out-param accessor alive on top of the structured API.
+class HonestCountSink final : public RoundTraceSink {
+ public:
+  explicit HonestCountSink(std::vector<std::uint32_t>& counts)
+      : counts_(&counts) {}
+  void on_round(const RoundRecord& record) override {
+    counts_->push_back(record.honest_mined);
+  }
+
+ private:
+  std::vector<std::uint32_t>* counts_;
+};
 
 }  // namespace
 
@@ -90,8 +106,16 @@ AggregateResult run_aggregate(const AggregateConfig& config) {
 }
 
 AggregateResult run_aggregate_traced(const AggregateConfig& config,
+                                     RoundTraceSink& sink) {
+  return run_impl(config, &sink);
+}
+
+AggregateResult run_aggregate_traced(const AggregateConfig& config,
                                      std::vector<std::uint32_t>& honest_counts) {
-  return run_impl(config, &honest_counts);
+  honest_counts.clear();
+  honest_counts.reserve(config.rounds);
+  HonestCountSink sink(honest_counts);
+  return run_impl(config, &sink);
 }
 
 }  // namespace neatbound::sim

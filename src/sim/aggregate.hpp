@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "sim/trace.hpp"
 #include "support/rng.hpp"
 
 namespace neatbound::sim {
@@ -39,8 +40,18 @@ struct AggregateResult {
 /// quiet period).
 [[nodiscard]] AggregateResult run_aggregate(const AggregateConfig& config);
 
-/// As above but also returns the per-round honest counts (for tests that
-/// want to re-count offline).  Memory: 4 bytes per round.
+/// As above, streaming one RoundRecord per round into `sink` (the
+/// structured trace API of sim/trace.hpp).  The aggregate model has no
+/// chains or network, so only the counting fields are populated: round
+/// (1-based), honest_mined, adversary_mined; mined_by stays empty (the
+/// model draws a binomial total, not per-miner identities) and the
+/// view/chain fields stay zero.
+[[nodiscard]] AggregateResult run_aggregate_traced(
+    const AggregateConfig& config, RoundTraceSink& sink);
+
+/// Legacy accessor, kept as a thin shim over the sink API: fills
+/// `honest_counts` with each round's honest block count (index i =
+/// round i+1).  Memory: 4 bytes per round.
 [[nodiscard]] AggregateResult run_aggregate_traced(
     const AggregateConfig& config, std::vector<std::uint32_t>& honest_counts);
 

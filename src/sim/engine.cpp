@@ -74,6 +74,8 @@ class ExecutionEngine::Ops final : public AdversaryOps {
     mined->miner_class = protocol::MinerClass::kAdversary;
     mined->miner = engine_.honest_count_;  // corrupted ids share one bucket
     ++engine_.adversary_blocks_total_;
+    ++engine_.round_activity_.adversary_mined;
+    NEATBOUND_COUNT(kAdversaryBlocksMined);
     return engine_.store_.add(std::move(*mined));
   }
 
@@ -122,6 +124,9 @@ ExecutionEngine::ExecutionEngine(EngineConfig config,
   views_.resize(honest_count_);
   tips_scratch_.resize(honest_count_, protocol::kGenesisIndex);
   nonce_scratch_.resize(honest_count_);
+  // At most honest_count_ honest blocks per round, so the per-round miner
+  // list never reallocates after this.
+  round_miners_.reserve(honest_count_);
 }
 
 ExecutionEngine::~ExecutionEngine() = default;
@@ -176,8 +181,13 @@ void ExecutionEngine::schedule_echo(std::uint64_t first_receipt_round,
 
 void ExecutionEngine::deliver_due(std::uint64_t round) {
   calendar_.drain_due(round, [this](const net::Delivery& d) {
+    ++round_activity_.delivered;
+    NEATBOUND_COUNT(kDeliveries);
     const AdoptionEvent event = views_[d.recipient].deliver(d.block, store_);
     if (event.adopted) {
+      ++round_activity_.adoptions;
+      NEATBOUND_COUNT(kAdoptions);
+      if (event.reorg_depth > 0) NEATBOUND_COUNT(kReorgs);
       note_adoption(d.recipient);
       if (event.reorg_depth > 0) consistency_.observe_reorg(event.reorg_depth);
     }
@@ -187,6 +197,8 @@ void ExecutionEngine::deliver_due(std::uint64_t round) {
 void ExecutionEngine::broadcast_honest(std::uint64_t round,
                                        std::uint32_t sender,
                                        protocol::BlockIndex block) {
+  // Scoped per mined block (rare: n·p per round), not per recipient.
+  NEATBOUND_PHASE_SCOPE(kSchedule);
   for (std::uint32_t r = 0; r < honest_count_; ++r) {
     if (r == sender) continue;
     const std::uint64_t d =
@@ -222,9 +234,17 @@ void ExecutionEngine::honest_mining_phase(std::uint64_t round) {
     }
     const protocol::BlockIndex index = store_.add(std::move(*mined));
     ++mined_this_round;
+    ++round_activity_.honest_mined;
+    // neatbound-analyze: allow(hot-alloc) — capacity pre-reserved to
+    // honest_count_ in the constructor; this append never reallocates.
+    round_miners_.push_back(m);
+    NEATBOUND_COUNT(kHonestBlocksMined);
     // The miner adopts its own block immediately (it extends its tip).
     const AdoptionEvent event = views_[m].deliver(index, store_);
     if (event.adopted) {
+      ++round_activity_.adoptions;
+      NEATBOUND_COUNT(kAdoptions);
+      if (event.reorg_depth > 0) NEATBOUND_COUNT(kReorgs);
       note_adoption(m);
       if (event.reorg_depth > 0) consistency_.observe_reorg(event.reorg_depth);
     }
@@ -240,20 +260,36 @@ RunResult ExecutionEngine::run(const RoundObserver& observer) {
   NEATBOUND_EXPECTS(!ran_, "run() may be called once");
   ran_ = true;
   honest_counts_.reserve(config_.rounds);
+  // Telemetry registers are thread_local and reset here, so the snapshot
+  // taken after the loop covers exactly this run, on whichever worker
+  // thread executed it.
+  telemetry::reset();
 
   for (std::uint64_t round = 1; round <= config_.rounds; ++round) {
-    deliver_due(round);
-    honest_mining_phase(round);
+    round_activity_ = {};
+    round_miners_.clear();
+    {
+      NEATBOUND_PHASE_SCOPE(kDeliver);
+      deliver_due(round);
+    }
+    {
+      NEATBOUND_PHASE_SCOPE(kMine);
+      honest_mining_phase(round);
+    }
     // tips_scratch_ / best_tip_ are already current: every adoption path
     // runs through note_adoption, so the adversary and metrics read the
     // same snapshot the old per-round rescan produced.
     if (adversary_queries_ > 0) {
+      NEATBOUND_PHASE_SCOPE(kAdversary);
       Ops ops(*this, round, adversary_queries_);
       adversary_->act(ops);
       // Publication may not change views until delivery, so the snapshot
       // taken above remains valid for metrics.
     }
-    consistency_.observe_round(tips_scratch_, store_);
+    {
+      NEATBOUND_PHASE_SCOPE(kMetrics);
+      consistency_.observe_round(tips_scratch_, store_);
+    }
     if (observer) observer(*this, round);
   }
 
@@ -272,6 +308,7 @@ RunResult ExecutionEngine::run(const RoundObserver& observer) {
   result.violation_depth = consistency_.violation_depth();
   result.chain = measure_chain(store_, best_honest_tip(), config_.rounds);
   result.store_size = store_.size();
+  result.telemetry = telemetry::snapshot();
   return result;
 }
 

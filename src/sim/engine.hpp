@@ -32,6 +32,7 @@
 #include "sim/miner_view.hpp"
 #include "support/hot.hpp"
 #include "support/rng.hpp"
+#include "support/telemetry.hpp"
 
 namespace neatbound::sim {
 
@@ -57,6 +58,17 @@ struct EngineConfig {
 /// can fail fast before spawning runs.
 void validate_engine_config(const EngineConfig& config);
 
+/// Event counts of the most recent round, maintained unconditionally
+/// (plain increments — cheap enough to keep out of the telemetry gate)
+/// so the round tracer (sim/trace.hpp) can read them without touching
+/// simulation state.
+struct RoundActivity {
+  std::uint32_t honest_mined = 0;
+  std::uint32_t adversary_mined = 0;
+  std::uint32_t delivered = 0;
+  std::uint32_t adoptions = 0;
+};
+
 struct RunResult {
   std::vector<std::uint32_t> honest_counts;  ///< blocks honest miners mined, per round
   std::uint64_t honest_blocks_total = 0;
@@ -68,6 +80,9 @@ struct RunResult {
   std::uint64_t violation_depth = 0;
   ChainMetrics chain;
   std::uint64_t store_size = 0;  ///< all blocks ever mined (incl. genesis)
+  /// Counter values + per-phase wall times of this run; all zeros in
+  /// telemetry-OFF builds.  Never read by simulation code.
+  telemetry::TelemetrySnapshot telemetry;
 };
 
 class ExecutionEngine {
@@ -110,6 +125,24 @@ class ExecutionEngine {
   /// Current tips of all honest miners (valid after run()).
   [[nodiscard]] std::span<const protocol::BlockIndex> honest_tips() const {
     return tips_scratch_;
+  }
+
+  // --- per-round activity, for RoundObserver consumers (sim/trace) ---
+  /// Event counts of the round that just finished (or is executing).
+  [[nodiscard]] const RoundActivity& round_activity() const noexcept {
+    return round_activity_;
+  }
+  /// Honest miner ids that mined in the current round, in mining order.
+  [[nodiscard]] std::span<const std::uint32_t> round_miners() const noexcept {
+    return round_miners_;
+  }
+  /// Height of the best honest tip (the incremental maximum).
+  [[nodiscard]] std::uint64_t best_height() const noexcept {
+    return best_height_;
+  }
+  /// Running max consistency-violation depth observed so far.
+  [[nodiscard]] std::uint64_t violation_depth() const noexcept {
+    return consistency_.violation_depth();
   }
 
  private:
@@ -157,6 +190,13 @@ class ExecutionEngine {
   /// One pre-drawn nonce per honest miner per round (batched RNG path).
   std::vector<std::uint64_t> nonce_scratch_;
   std::vector<bool> echoed_;  ///< per block: gossip echo already scheduled
+  /// Reset at the top of every round; read only by observers/tracers —
+  /// no simulation decision ever consults these.
+  RoundActivity round_activity_;
+  /// Honest miner ids of the current round; capacity pre-reserved to
+  /// honest_count_ in the constructor, so the per-block append never
+  /// allocates.
+  std::vector<std::uint32_t> round_miners_;
   bool ran_ = false;
 };
 

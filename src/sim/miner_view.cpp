@@ -44,6 +44,7 @@ void MinerView::buffer_orphan(protocol::BlockIndex parent,
                       "un-buffered block already threaded into a waiting "
                       "list — buffered_ out of lockstep");
   buffered_[block] = true;
+  NEATBOUND_COUNT(kOrphansBuffered);
   // Push-front; activation re-reverses, so children wake in arrival order.
   waiting_next_[block] = waiting_first_[parent];
   waiting_first_[parent] = block;
@@ -81,6 +82,7 @@ void MinerView::activate_ready(protocol::BlockIndex block,
         const protocol::BlockIndex next = waiting_next_[child];
         waiting_next_[child] = kNoWaiting;
         buffered_[child] = false;
+        NEATBOUND_COUNT(kOrphansActivated);
         // neatbound-analyze: allow(hot-alloc) — reused worklist (above)
         activation_stack_.push_back(child);
         child = next;

@@ -20,6 +20,7 @@
 
 #include "protocol/block_store.hpp"
 #include "support/hot.hpp"
+#include "support/telemetry.hpp"
 
 namespace neatbound::sim {
 
@@ -55,7 +56,10 @@ class MinerView {
   NEATBOUND_HOT AdoptionEvent deliver(protocol::BlockIndex block,
                                       const protocol::BlockStore& store) {
     AdoptionEvent event;
-    if (knows(block)) return event;  // duplicate delivery (echo), ignore
+    if (knows(block)) {  // duplicate delivery (echo), ignore
+      NEATBOUND_COUNT(kDuplicateDeliveries);
+      return event;
+    }
     deliver_fresh(block, store, event);
     return event;
   }

@@ -23,6 +23,7 @@ void accumulate_run(ExperimentSummary& summary, const RunResult& result,
   summary.best_height.add(static_cast<double>(result.chain.best_height));
   summary.violation_exceeds_t.add(
       result.violation_depth > violation_t ? 1.0 : 0.0);
+  summary.telemetry.add(result.telemetry);
 }
 
 std::unique_ptr<Adversary> make_default_adversary(

@@ -11,6 +11,7 @@
 #include "sim/engine.hpp"
 #include "sim/strategies.hpp"
 #include "stats/summary.hpp"
+#include "support/telemetry.hpp"
 
 namespace neatbound::sim {
 
@@ -36,6 +37,10 @@ struct ExperimentSummary {
   /// Fraction of runs whose violation depth exceeded a caller-set T
   /// (see ExperimentConfig-independent helper below); stored as 0/1 values.
   stats::RunningStats violation_exceeds_t;
+  /// Telemetry counters/phase times summed over the folded runs (all
+  /// zeros in telemetry-OFF builds).  Folded in seed order like every
+  /// other field; surfaced only through opt-in report meta.
+  telemetry::TelemetryAccumulator telemetry;
 };
 
 /// Per-config adversary construction hook shared by every runner variant.

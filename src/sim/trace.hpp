@@ -1,0 +1,110 @@
+// Structured per-round run traces: the bounded event stream behind
+// `neatbound_cli run --trace` and the promotion target for ad-hoc
+// per-round side channels (sim/aggregate's honest-count vector).
+//
+// A trace is a JSONL stream — one self-contained JSON object per round —
+// so a partial file (bounded writer, interrupted run) is still
+// line-by-line parseable, and downstream tooling (scripts/check_trace.py,
+// jq, pandas) needs no framing.  The record is the per-round event
+// granularity the characteristic-string analyses (Kiayias–Quader–Russell,
+// Blum et al.) reason over: who mined, what was delivered, how views
+// moved.
+//
+// Tracing is strictly read-only over the engine: the observer reads
+// public accessors after the round has fully executed, so a traced run's
+// RunResult is bit-identical to an untraced run of the same seed
+// (asserted by tests/sim/test_trace.cpp).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace neatbound::sim {
+
+/// One round's events.  Every field is numeric, so serialization needs
+/// no string escaping and the schema is trivially diffable.
+struct RoundRecord {
+  std::uint64_t round = 0;            ///< 1-based engine round
+  std::uint32_t honest_mined = 0;     ///< honest blocks mined this round
+  std::uint32_t adversary_mined = 0;  ///< adversary blocks mined this round
+  std::vector<std::uint32_t> mined_by;  ///< honest miner ids, mining order
+  std::uint32_t delivered = 0;        ///< calendar deliveries applied
+  std::uint32_t adoptions = 0;        ///< tip changes across all views
+  std::uint64_t best_height = 0;      ///< height of the best honest tip
+  std::uint64_t violation_depth = 0;  ///< running max consistency violation
+};
+
+/// Round window + record cap for a bounded trace.  Records are emitted
+/// for rounds in [first_round, last_round], at most max_records of them;
+/// the cap keeps a misconfigured window from filling a disk.
+struct TraceBounds {
+  std::uint64_t first_round = 1;
+  std::uint64_t last_round = std::numeric_limits<std::uint64_t>::max();
+  std::uint64_t max_records = std::uint64_t{1} << 20;
+
+  [[nodiscard]] bool contains(std::uint64_t round) const noexcept {
+    return round >= first_round && round <= last_round;
+  }
+};
+
+/// Parses the CLI's `--trace-rounds A:B` syntax into a window: "A:B"
+/// (inclusive, 1-based), "A:" (from A to the end), ":B" (from round 1).
+/// Throws std::invalid_argument on malformed input or A > B.
+[[nodiscard]] TraceBounds parse_trace_rounds(const std::string& text);
+
+/// Consumer of per-round records.  The engine-side tracer and the
+/// aggregate engine both feed this, so every structured per-round stream
+/// in the repo shares one schema and one bounded writer.
+class RoundTraceSink {
+ public:
+  virtual ~RoundTraceSink() = default;
+  virtual void on_round(const RoundRecord& record) = 0;
+};
+
+/// JSONL writer enforcing TraceBounds: rounds outside the window are
+/// skipped, and output stops permanently once max_records lines were
+/// written (truncated() reports that).  This is the single sanctioned
+/// trace serialization point — the neatbound-analyze trace-io rule keeps
+/// sim/net/protocol code from growing private file writers beside it.
+class BoundedTraceWriter final : public RoundTraceSink {
+ public:
+  BoundedTraceWriter(std::ostream& os, TraceBounds bounds);
+
+  void on_round(const RoundRecord& record) override;
+
+  [[nodiscard]] std::uint64_t records_written() const noexcept {
+    return written_;
+  }
+  [[nodiscard]] bool truncated() const noexcept { return truncated_; }
+
+ private:
+  std::ostream* os_;
+  TraceBounds bounds_;
+  std::uint64_t written_ = 0;
+  bool truncated_ = false;
+};
+
+/// Strict JSONL reader: every line must be an object with exactly the
+/// RoundRecord keys (no extras, no omissions), integer-valued fields,
+/// strictly increasing rounds, and mined_by length equal to honest_mined.
+/// Throws std::runtime_error naming the offending line.  Blank lines are
+/// permitted only at the end of the stream.
+[[nodiscard]] std::vector<RoundRecord> read_trace_jsonl(std::istream& is);
+
+/// The RoundRecord serialization the writer emits, exposed for tests and
+/// for tooling that wants single records.
+[[nodiscard]] std::string to_jsonl_line(const RoundRecord& record);
+
+/// An engine observer that assembles a RoundRecord from the engine's
+/// per-round activity accessors after each round and feeds `sink`.  The
+/// sink must outlive the returned observer.  Purely read-only (see file
+/// comment).
+[[nodiscard]] ExecutionEngine::RoundObserver make_round_tracer(
+    RoundTraceSink& sink);
+
+}  // namespace neatbound::sim

@@ -1,0 +1,89 @@
+#include "support/telemetry.hpp"
+
+#include <ostream>
+
+namespace neatbound::telemetry {
+
+namespace {
+
+constexpr const char* kCounterNames[] = {
+    "honest_blocks_mined",  "adversary_blocks_mined",
+    "deliveries",           "duplicate_deliveries",
+    "orphans_buffered",     "orphans_activated",
+    "adoptions",            "reorgs",
+    "calendar_scheduled",   "calendar_grows",
+    "ancestry_queries",     "skip_rows_built",
+};
+static_assert(sizeof(kCounterNames) / sizeof(kCounterNames[0]) ==
+                  kCounterCount,
+              "counter_name table out of lockstep with enum Counter");
+
+constexpr const char* kPhaseNames[] = {
+    "deliver", "mine", "schedule", "adversary", "metrics",
+};
+static_assert(sizeof(kPhaseNames) / sizeof(kPhaseNames[0]) == kPhaseCount,
+              "phase_name table out of lockstep with enum Phase");
+
+}  // namespace
+
+const char* counter_name(Counter counter) noexcept {
+  return kCounterNames[static_cast<std::size_t>(counter)];
+}
+
+const char* phase_name(Phase phase) noexcept {
+  return kPhaseNames[static_cast<std::size_t>(phase)];
+}
+
+void TelemetryAccumulator::add(const TelemetrySnapshot& snapshot) noexcept {
+  for (std::size_t i = 0; i < kCounterCount; ++i) {
+    counters[i] += snapshot.counters[i];
+  }
+  for (std::size_t i = 0; i < kPhaseCount; ++i) {
+    phase_nanos[i] += snapshot.phase_nanos[i];
+  }
+  ++runs;
+}
+
+void TelemetryAccumulator::merge(const TelemetryAccumulator& other) noexcept {
+  for (std::size_t i = 0; i < kCounterCount; ++i) {
+    counters[i] += other.counters[i];
+  }
+  for (std::size_t i = 0; i < kPhaseCount; ++i) {
+    phase_nanos[i] += other.phase_nanos[i];
+  }
+  runs += other.runs;
+}
+
+void write_chrome_trace(std::ostream& os, std::span<const PhaseEvent> events,
+                        const TelemetrySnapshot& snapshot) {
+  // Chrome-trace timestamps are microseconds; emit nanosecond precision
+  // as fractional µs, rebased so the timeline starts at 0.
+  const std::uint64_t origin = events.empty() ? 0 : events.front().start_ns;
+  const auto us = [](std::uint64_t ns) {
+    return static_cast<double>(ns) / 1000.0;
+  };
+  os << "{\"traceEvents\":[\n";
+  os << "{\"ph\":\"M\",\"pid\":1,\"tid\":1,\"name\":\"process_name\","
+        "\"args\":{\"name\":\"neatbound engine run\"}}";
+  for (const PhaseEvent& event : events) {
+    os << ",\n{\"ph\":\"X\",\"pid\":1,\"tid\":1,\"name\":\""
+       << phase_name(event.phase) << "\",\"ts\":" << us(event.start_ns - origin)
+       << ",\"dur\":" << us(event.duration_ns) << "}";
+  }
+  os << ",\n{\"ph\":\"I\",\"pid\":1,\"tid\":1,\"ts\":0,\"s\":\"g\","
+        "\"name\":\"counters\",\"args\":{";
+  for (std::size_t i = 0; i < kCounterCount; ++i) {
+    os << (i == 0 ? "" : ",") << "\""
+       << counter_name(static_cast<Counter>(i)) << "\":"
+       << snapshot.counters[i];
+  }
+  os << "}},\n{\"ph\":\"I\",\"pid\":1,\"tid\":1,\"ts\":0,\"s\":\"g\","
+        "\"name\":\"phase_totals_ns\",\"args\":{";
+  for (std::size_t i = 0; i < kPhaseCount; ++i) {
+    os << (i == 0 ? "" : ",") << "\"" << phase_name(static_cast<Phase>(i))
+       << "\":" << snapshot.phase_nanos[i];
+  }
+  os << "}}\n]}\n";
+}
+
+}  // namespace neatbound::telemetry

@@ -1,0 +1,17 @@
+// Fixture: allowlisted trace-io — the allow syntax must silence the
+// rule on both the include and the stream construction.
+#pragma once
+
+// neatbound-analyze: allow(trace-io) — fixture: proves the allow syntax.
+#include <fstream>
+
+namespace neatbound::sim {
+
+inline void debug_dump(unsigned long long round) {
+  // neatbound-analyze: allow(trace-io) — fixture: proves the allow
+  // syntax covers a multi-line rationale block too.
+  std::ofstream os("debug.log", std::ios::app);
+  os << round << '\n';
+}
+
+}  // namespace neatbound::sim

@@ -1,0 +1,23 @@
+// Fixture: private file writers inside a simulation-core module.  Both
+// the C++ stream and the C stdio path must fire trace-io — structured
+// output belongs to sim::BoundedTraceWriter with a caller-owned stream.
+// analyze-expect: trace-io
+#include <cstdio>
+#include <fstream>
+
+namespace neatbound::sim {
+
+void dump_round(unsigned long long round) {
+  std::ofstream os("rounds.log", std::ios::app);
+  os << round << '\n';
+}
+
+void dump_round_c(unsigned long long round) {
+  FILE* handle = std::fopen("rounds.log", "a");
+  if (handle != nullptr) {
+    std::fprintf(handle, "%llu\n", round);
+    std::fclose(handle);
+  }
+}
+
+}  // namespace neatbound::sim

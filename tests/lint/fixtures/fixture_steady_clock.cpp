@@ -1,0 +1,18 @@
+// Known-bad fixture for scripts/check_determinism.py: raw steady_clock
+// use.  Only src/support/telemetry.{hpp,cpp} may read steady_clock;
+// fixtures are scanned without an exempt path, so the bare read below
+// must fire while the allowlisted one stays silent.
+// lint-expect: raw-steady-clock
+#include <chrono>
+
+long long raw_elapsed() {
+  const auto t0 = std::chrono::steady_clock::now();
+  return t0.time_since_epoch().count();
+}
+
+long long allowed_elapsed() {
+  // determinism-lint: allow(raw-steady-clock) — fixture: proves the
+  // allow-comment path of the rule.
+  const auto t1 = std::chrono::steady_clock::now();
+  return t1.time_since_epoch().count();
+}

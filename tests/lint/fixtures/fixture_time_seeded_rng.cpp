@@ -1,7 +1,9 @@
 // Known-bad fixture for scripts/check_determinism.py: a clock feeding a
-// seed.  steady_clock on its own is allowed, which is exactly why the
-// seeding pattern needs its own rule.
+// seed.  The raw steady_clock read is a finding of its own
+// (raw-steady-clock); the seeding pattern stays a separate rule because
+// an *allowed* clock read feeding a seed must still fire.
 // lint-expect: time-seeded-rng
+// lint-expect: raw-steady-clock
 #include <chrono>
 
 #include "support/rng.hpp"

@@ -1,5 +1,6 @@
 // Known-bad fixture for scripts/check_determinism.py: wall-clock reads.
-// steady_clock is the allowed exception (elapsed-time metadata only).
+// (steady_clock has its own rule, raw-steady-clock — see
+// fixture_steady_clock.cpp.)
 // lint-expect: wall-clock
 #include <chrono>
 

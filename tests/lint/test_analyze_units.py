@@ -149,5 +149,36 @@ class LexerTests(unittest.TestCase):
                          [(1, "sim/engine.hpp")])
 
 
+class TelemetryMacroTests(unittest.TestCase):
+    """The telemetry macros are observation, not calls: they must stay
+    invisible to the call graph (ALL-UPPERCASE filter) while still being
+    recorded on the containing function via contains_telemetry."""
+
+    SOURCE = (
+        "namespace neatbound::sim {\n"
+        "void counted() {\n"
+        "  NEATBOUND_COUNT(kDeliveries);\n"
+        "  helper();\n"
+        "}\n"
+        "void plain() { helper(); }\n"
+        "}\n"
+    )
+
+    def _functions(self):
+        functions, _declarations = srcmodel.extract_functions(self.SOURCE)
+        return {f.name: f for f in functions}
+
+    def test_macro_is_not_a_call(self):
+        functions = self._functions()
+        self.assertIn("helper", functions["counted"].calls)
+        for macro in srcmodel.TELEMETRY_MACROS:
+            self.assertNotIn(macro, functions["counted"].calls)
+
+    def test_contains_telemetry_flag(self):
+        functions = self._functions()
+        self.assertTrue(functions["counted"].contains_telemetry)
+        self.assertFalse(functions["plain"].contains_telemetry)
+
+
 if __name__ == "__main__":
     unittest.main(verbosity=2)

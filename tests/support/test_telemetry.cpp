@@ -1,0 +1,159 @@
+// Telemetry contract tests (docs/observability.md): the macros compile in
+// every configuration and respect the build gate (true no-ops when the
+// gate is off), the accumulator fold is associative and seed-order
+// independent, the name tables cover their enums, and the Chrome-trace
+// exporter emits a parseable document in both configurations.
+#include "support/telemetry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "support/json.hpp"
+
+namespace neatbound::telemetry {
+namespace {
+
+TEST(Telemetry, MacrosRespectBuildGate) {
+  reset();
+  NEATBOUND_COUNT(kDeliveries);
+  NEATBOUND_COUNT_ADD(kDeliveries, 3);
+  {
+    NEATBOUND_PHASE_SCOPE(kDeliver);
+  }
+  const TelemetrySnapshot snap = snapshot();
+  const auto deliveries = static_cast<std::size_t>(Counter::kDeliveries);
+  if constexpr (enabled()) {
+    EXPECT_EQ(snap.counters[deliveries], 4u);
+    ASSERT_EQ(phase_events().size(), 1u);
+    EXPECT_EQ(phase_events()[0].phase, Phase::kDeliver);
+  } else {
+    for (const std::uint64_t value : snap.counters) EXPECT_EQ(value, 0u);
+    for (const std::uint64_t value : snap.phase_nanos) EXPECT_EQ(value, 0u);
+    EXPECT_TRUE(phase_events().empty());
+    // The OFF PhaseScope is an empty stand-in — the macros expand to
+    // nothing, so there is no state to carry.
+    EXPECT_EQ(sizeof(PhaseScope), 1u);
+  }
+  reset();
+}
+
+TEST(Telemetry, NameTablesCoverTheirEnums) {
+  std::set<std::string> counter_names;
+  for (std::size_t c = 0; c < kCounterCount; ++c) {
+    const char* name = counter_name(static_cast<Counter>(c));
+    ASSERT_NE(name, nullptr);
+    EXPECT_FALSE(std::string(name).empty());
+    counter_names.insert(name);
+  }
+  EXPECT_EQ(counter_names.size(), kCounterCount) << "duplicate counter name";
+
+  std::set<std::string> phase_names;
+  for (std::size_t ph = 0; ph < kPhaseCount; ++ph) {
+    const char* name = phase_name(static_cast<Phase>(ph));
+    ASSERT_NE(name, nullptr);
+    EXPECT_FALSE(std::string(name).empty());
+    phase_names.insert(name);
+  }
+  EXPECT_EQ(phase_names.size(), kPhaseCount) << "duplicate phase name";
+}
+
+/// A snapshot whose every slot is distinct, so a swapped index or a lost
+/// run shows up as a sum mismatch.
+TelemetrySnapshot numbered_snapshot(std::uint64_t base) {
+  TelemetrySnapshot snap;
+  for (std::size_t i = 0; i < kCounterCount; ++i) {
+    snap.counters[i] = base * 100 + i;
+  }
+  for (std::size_t i = 0; i < kPhaseCount; ++i) {
+    snap.phase_nanos[i] = base * 1000 + i;
+  }
+  return snap;
+}
+
+bool equal(const TelemetryAccumulator& a, const TelemetryAccumulator& b) {
+  return a.counters == b.counters && a.phase_nanos == b.phase_nanos &&
+         a.runs == b.runs;
+}
+
+TEST(TelemetryAccumulator, AddSumsSlotwiseAndCountsRuns) {
+  TelemetryAccumulator acc;
+  acc.add(numbered_snapshot(1));
+  acc.add(numbered_snapshot(2));
+  EXPECT_EQ(acc.runs, 2u);
+  for (std::size_t i = 0; i < kCounterCount; ++i) {
+    EXPECT_EQ(acc.counters[i], 300 + 2 * i);
+  }
+  for (std::size_t i = 0; i < kPhaseCount; ++i) {
+    EXPECT_EQ(acc.phase_nanos[i], 3000 + 2 * i);
+  }
+}
+
+TEST(TelemetryAccumulator, MergeIsAssociative) {
+  TelemetryAccumulator a;
+  TelemetryAccumulator b;
+  TelemetryAccumulator c;
+  a.add(numbered_snapshot(1));
+  b.add(numbered_snapshot(2));
+  b.add(numbered_snapshot(3));
+  c.add(numbered_snapshot(4));
+
+  TelemetryAccumulator left = a;  // (a ⊕ b) ⊕ c
+  left.merge(b);
+  left.merge(c);
+
+  TelemetryAccumulator bc = b;  // a ⊕ (b ⊕ c)
+  bc.merge(c);
+  TelemetryAccumulator right = a;
+  right.merge(bc);
+
+  EXPECT_TRUE(equal(left, right));
+  EXPECT_EQ(left.runs, 4u);
+}
+
+TEST(TelemetryAccumulator, FoldIsSeedOrderIndependent) {
+  std::vector<TelemetrySnapshot> runs;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    runs.push_back(numbered_snapshot(seed));
+  }
+  TelemetryAccumulator forward;
+  for (const TelemetrySnapshot& snap : runs) forward.add(snap);
+  TelemetryAccumulator reversed;
+  for (auto it = runs.rbegin(); it != runs.rend(); ++it) reversed.add(*it);
+  EXPECT_TRUE(equal(forward, reversed));
+}
+
+TEST(Telemetry, ChromeTraceExportsParseableDocument) {
+  std::vector<PhaseEvent> events;
+  events.push_back({1'000'000, 500'000, Phase::kDeliver});
+  events.push_back({2'000'000, 250'000, Phase::kMine});
+  TelemetrySnapshot snap;
+  snap.counters[static_cast<std::size_t>(Counter::kDeliveries)] = 7;
+
+  std::ostringstream os;
+  write_chrome_trace(os, events, snap);
+  const support::JsonValue doc = support::parse_json(os.str());
+  const auto& trace_events = doc.at("traceEvents").as_array();
+  // One process_name metadata record, one "X" per scope, two instant
+  // events (counters, phase totals).
+  ASSERT_EQ(trace_events.size(), events.size() + 3);
+  EXPECT_NE(os.str().find("\"process_name\""), std::string::npos);
+  EXPECT_NE(os.str().find("\"deliver\""), std::string::npos);
+  EXPECT_NE(os.str().find("\"phase_totals_ns\""), std::string::npos);
+}
+
+TEST(Telemetry, ChromeTraceValidWithNoEvents) {
+  // An OFF build has no timeline; the document must still parse (the
+  // CLI writes it with a note either way).
+  std::ostringstream os;
+  write_chrome_trace(os, {}, TelemetrySnapshot{});
+  const support::JsonValue doc = support::parse_json(os.str());
+  EXPECT_EQ(doc.at("traceEvents").as_array().size(), 3u);
+}
+
+}  // namespace
+}  // namespace neatbound::telemetry
