@@ -334,6 +334,13 @@ int run_command(int argc, char** argv) {
     std::cout << "# interrupted after " << result.waves
               << " wave(s); resume with --checkpoint "
               << run_options.checkpoint_path << " --resume\n";
+    if (!trace_path.empty() || !chrome_path.empty()) {
+      // The dedicated traced run only executes after a completed sweep;
+      // say so rather than leaving the flags silently ignored (and any
+      // pre-existing file at those paths stale).
+      std::cout << "# trace output skipped: run interrupted by "
+                   "--stop-after-waves, no trace files written\n";
+    }
     return 3;
   }
   scenario::render_adaptive_report(spec, result.cells, report);

@@ -14,7 +14,9 @@ record (one JSON object per line):
   * exactly the eight keys: round, honest_mined, adversary_mined,
     mined_by, delivered, adoptions, best_height, violation_depth
   * every value a non-negative integer; mined_by a list of them
-  * len(mined_by) == honest_mined (one miner id per honest block)
+  * len(mined_by) == honest_mined (one miner id per honest block), or
+    mined_by empty when miner identity is not modeled (the aggregate
+    engine streams counting-only records through the same schema)
   * round >= 1 and strictly increasing across records
   * best_height and violation_depth nondecreasing (both are running
     maxima inside the engine)
@@ -23,7 +25,8 @@ record (one JSON object per line):
 
 --chrome additionally validates the exporter output: a JSON object with
 a "traceEvents" list whose events carry a "ph" in {M, X, I}, with
-complete ("X") events holding non-negative integer ts/dur.
+complete ("X") events holding finite non-negative ts/dur numbers (the
+exporter emits fixed-point fractional microseconds, e.g. 1234.567).
 
 Plain python3, stdlib only.  Exit 0 on success, 1 on violations.
 """
@@ -31,6 +34,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import math
 import sys
 
 TRACE_KEYS = (
@@ -48,6 +52,12 @@ TRACE_KEYS = (
 def _is_uint(value: object) -> bool:
     # bool is an int subclass; a JSON true/false here is schema drift.
     return isinstance(value, int) and not isinstance(value, bool) and value >= 0
+
+
+def _is_nonneg_number(value: object) -> bool:
+    # Chrome-trace ts/dur: integer or fractional-µs, finite, >= 0.
+    return (isinstance(value, (int, float)) and not isinstance(value, bool)
+            and math.isfinite(value) and value >= 0)
 
 
 def check_trace_lines(lines: list[str], *, allow_empty: bool = False,
@@ -108,7 +118,9 @@ def check_trace_lines(lines: list[str], *, allow_empty: bool = False,
             errors.append(f"{where}: round {record['round']} not strictly "
                           f"greater than previous round {prev_round}")
         prev_round = record["round"]
-        if len(mined_by) != record["honest_mined"]:
+        # Empty mined_by is the aggregate-engine form: counting-only
+        # records where miner identity is not modeled.
+        if mined_by and len(mined_by) != record["honest_mined"]:
             errors.append(f"{where}: len(mined_by)={len(mined_by)} != "
                           f"honest_mined={record['honest_mined']}")
         if record["best_height"] < prev_best_height:
@@ -157,9 +169,10 @@ def check_chrome_trace(text: str, *, label: str = "chrome") -> list[str]:
             errors.append(f"{where}: missing name")
         if ph == "X":
             for key in ("ts", "dur"):
-                if not _is_uint(event.get(key)):
-                    errors.append(f"{where}: {key} must be a non-negative "
-                                  f"integer, got {event.get(key)!r}")
+                if not _is_nonneg_number(event.get(key)):
+                    errors.append(f"{where}: {key} must be a finite "
+                                  f"non-negative number, "
+                                  f"got {event.get(key)!r}")
     if "M" not in phases:
         errors.append(f"{label}: no metadata (\"M\") event — process_name "
                       f"record is part of the exporter contract")
@@ -182,6 +195,10 @@ _GOOD_TRACE = [
                        adoptions=2, best_height=2)),
     json.dumps(_record(round=5, honest_mined=2, mined_by=[0, 7], delivered=3,
                        adoptions=4, best_height=2, violation_depth=3)),
+    # Aggregate-engine form: honest blocks counted, miner identity not
+    # modeled, so mined_by stays empty.
+    json.dumps(_record(round=7, honest_mined=3, mined_by=[],
+                       best_height=2, violation_depth=3)),
 ]
 
 # (case name, lines, substring that must appear in some violation)
@@ -217,7 +234,10 @@ _BAD_TRACES = [
 _GOOD_CHROME = json.dumps({"traceEvents": [
     {"ph": "M", "name": "process_name", "pid": 1,
      "args": {"name": "neatbound"}},
-    {"ph": "X", "name": "deliver", "pid": 1, "tid": 1, "ts": 0, "dur": 12},
+    # Fixed-point fractional-µs ts/dur, as write_chrome_trace emits.
+    {"ph": "X", "name": "deliver", "pid": 1, "tid": 1, "ts": 1234567.891,
+     "dur": 12.005},
+    {"ph": "X", "name": "mine", "pid": 1, "tid": 1, "ts": 0, "dur": 12},
     {"ph": "I", "name": "counters", "pid": 1, "tid": 1, "ts": 0, "s": "g",
      "args": {"deliveries": 4}},
 ]})
@@ -231,7 +251,15 @@ _BAD_CHROMES = [
     ("chrome-bad-dur", json.dumps({"traceEvents": [
         {"ph": "M", "name": "process_name"},
         {"ph": "X", "name": "deliver", "ts": 0, "dur": -3}]}),
-     "dur must be a non-negative integer"),
+     "dur must be a finite non-negative number"),
+    ("chrome-inf-ts", json.dumps({"traceEvents": [
+        {"ph": "M", "name": "process_name"},
+        {"ph": "X", "name": "deliver", "ts": float("inf"), "dur": 1}]}),
+     "ts must be a finite non-negative number"),
+    ("chrome-string-ts", json.dumps({"traceEvents": [
+        {"ph": "M", "name": "process_name"},
+        {"ph": "X", "name": "deliver", "ts": "0", "dur": 1}]}),
+     "ts must be a finite non-negative number"),
     ("chrome-no-meta", json.dumps({"traceEvents": [
         {"ph": "X", "name": "deliver", "ts": 0, "dur": 1}]}),
      "no metadata"),

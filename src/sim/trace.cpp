@@ -171,7 +171,10 @@ std::vector<RoundRecord> read_trace_jsonl(std::istream& is) {
     } catch (const std::exception& e) {
       trace_error(line_number, e.what());
     }
-    if (record.mined_by.size() != record.honest_mined) {
+    // Empty mined_by with honest_mined > 0 is the aggregate-engine form
+    // (counting-only records, miner identity not modeled).
+    if (!record.mined_by.empty() &&
+        record.mined_by.size() != record.honest_mined) {
       trace_error(line_number, "mined_by length disagrees with honest_mined");
     }
     if (!records.empty() && record.round <= records.back().round) {

@@ -32,7 +32,9 @@ struct RoundRecord {
   std::uint64_t round = 0;            ///< 1-based engine round
   std::uint32_t honest_mined = 0;     ///< honest blocks mined this round
   std::uint32_t adversary_mined = 0;  ///< adversary blocks mined this round
-  std::vector<std::uint32_t> mined_by;  ///< honest miner ids, mining order
+  /// Honest miner ids in mining order; one per honest block for engine
+  /// traces, empty for aggregate-model traces (identity not modeled).
+  std::vector<std::uint32_t> mined_by;
   std::uint32_t delivered = 0;        ///< calendar deliveries applied
   std::uint32_t adoptions = 0;        ///< tip changes across all views
   std::uint64_t best_height = 0;      ///< height of the best honest tip
@@ -91,7 +93,8 @@ class BoundedTraceWriter final : public RoundTraceSink {
 
 /// Strict JSONL reader: every line must be an object with exactly the
 /// RoundRecord keys (no extras, no omissions), integer-valued fields,
-/// strictly increasing rounds, and mined_by length equal to honest_mined.
+/// strictly increasing rounds, and mined_by either of length
+/// honest_mined (engine traces) or empty (aggregate-model traces).
 /// Throws std::runtime_error naming the offending line.  Blank lines are
 /// permitted only at the end of the stream.
 [[nodiscard]] std::vector<RoundRecord> read_trace_jsonl(std::istream& is);

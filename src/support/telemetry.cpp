@@ -54,21 +54,35 @@ void TelemetryAccumulator::merge(const TelemetryAccumulator& other) noexcept {
   runs += other.runs;
 }
 
+namespace {
+
+// Chrome-trace timestamps are microseconds; emit nanosecond precision as
+// fixed-point fractional µs (always three fraction digits).  Integer
+// arithmetic end to end: streaming a double would fall into scientific
+// notation with ~10 µs rounding once a rebased timestamp passes ~1e6 µs.
+void write_micros(std::ostream& os, std::uint64_t ns) {
+  const std::uint64_t frac = ns % 1000;
+  os << ns / 1000 << '.' << static_cast<char>('0' + frac / 100)
+     << static_cast<char>('0' + frac / 10 % 10)
+     << static_cast<char>('0' + frac % 10);
+}
+
+}  // namespace
+
 void write_chrome_trace(std::ostream& os, std::span<const PhaseEvent> events,
                         const TelemetrySnapshot& snapshot) {
-  // Chrome-trace timestamps are microseconds; emit nanosecond precision
-  // as fractional µs, rebased so the timeline starts at 0.
+  // Rebased so the timeline starts at 0.
   const std::uint64_t origin = events.empty() ? 0 : events.front().start_ns;
-  const auto us = [](std::uint64_t ns) {
-    return static_cast<double>(ns) / 1000.0;
-  };
   os << "{\"traceEvents\":[\n";
   os << "{\"ph\":\"M\",\"pid\":1,\"tid\":1,\"name\":\"process_name\","
         "\"args\":{\"name\":\"neatbound engine run\"}}";
   for (const PhaseEvent& event : events) {
     os << ",\n{\"ph\":\"X\",\"pid\":1,\"tid\":1,\"name\":\""
-       << phase_name(event.phase) << "\",\"ts\":" << us(event.start_ns - origin)
-       << ",\"dur\":" << us(event.duration_ns) << "}";
+       << phase_name(event.phase) << "\",\"ts\":";
+    write_micros(os, event.start_ns - origin);
+    os << ",\"dur\":";
+    write_micros(os, event.duration_ns);
+    os << "}";
   }
   os << ",\n{\"ph\":\"I\",\"pid\":1,\"tid\":1,\"ts\":0,\"s\":\"g\","
         "\"name\":\"counters\",\"args\":{";

@@ -144,11 +144,18 @@ TEST(TraceJsonl, ReaderRejectsSchemaDrift) {
       "{\"round\":1,\"honest_mined\":0,\"adversary_mined\":0,"
       "\"mined_by\":[],\"delivered\":0,\"adoptions\":0,"
       "\"best_height\":0}\n");
-  // mined_by length must equal honest_mined.
+  // A non-empty mined_by must have honest_mined entries...
   reject(
       "{\"round\":1,\"honest_mined\":2,\"adversary_mined\":0,"
       "\"mined_by\":[1],\"delivered\":0,\"adoptions\":0,"
       "\"best_height\":0,\"violation_depth\":0}\n");
+  // ...but an empty one with honest_mined > 0 is the documented
+  // aggregate-engine form (miner identity not modeled).
+  std::istringstream aggregate_style(
+      "{\"round\":1,\"honest_mined\":2,\"adversary_mined\":0,"
+      "\"mined_by\":[],\"delivered\":0,\"adoptions\":0,"
+      "\"best_height\":0,\"violation_depth\":0}\n");
+  EXPECT_EQ(read_trace_jsonl(aggregate_style).size(), 1u);
   // Rounds strictly increasing.
   reject(good + "\n" + good + "\n");
   // Blank lines only at the end of the stream.
@@ -260,6 +267,38 @@ TEST(AggregateTrace, SinkAndLegacyVectorShimAgree) {
     EXPECT_EQ(sink.records[i].honest_mined, honest_counts[i]);
     EXPECT_TRUE(sink.records[i].mined_by.empty());
   }
+}
+
+TEST(AggregateTrace, SerializesThroughBoundedWriterAndReadsBack) {
+  // The aggregate stream and the engine stream share one schema and one
+  // writer; the strict reader must accept the aggregate form (empty
+  // mined_by even in honest-mining rounds) end to end.
+  AggregateConfig config;
+  config.honest_trials = 30.0;
+  config.adversary_trials = 10.0;
+  config.p = 0.01;
+  config.delta = 2;
+  config.rounds = 500;
+  config.seed = 99;
+
+  std::ostringstream os;
+  BoundedTraceWriter writer(os, TraceBounds{});
+  const AggregateResult result = run_aggregate_traced(config, writer);
+
+  std::istringstream is(os.str());
+  const std::vector<RoundRecord> readback = read_trace_jsonl(is);
+  ASSERT_EQ(readback.size(), config.rounds);
+  std::uint64_t honest_total = 0;
+  bool saw_honest_round = false;
+  for (const RoundRecord& record : readback) {
+    honest_total += record.honest_mined;
+    saw_honest_round |= record.honest_mined > 0;
+    EXPECT_TRUE(record.mined_by.empty());
+  }
+  EXPECT_EQ(honest_total, result.honest_blocks);
+  // The config mines often enough that the reader exercised the
+  // honest_mined > 0, empty-mined_by path.
+  EXPECT_TRUE(saw_honest_round);
 }
 
 }  // namespace

@@ -146,6 +146,28 @@ TEST(Telemetry, ChromeTraceExportsParseableDocument) {
   EXPECT_NE(os.str().find("\"phase_totals_ns\""), std::string::npos);
 }
 
+TEST(Telemetry, ChromeTraceTimestampsAreFixedPointMicros) {
+  // ts/dur are fixed-point fractional µs with ns resolution.  A run
+  // longer than ~1 s must not degrade into scientific notation or
+  // rounded timestamps (scripts/check_trace.py --chrome enforces plain
+  // non-negative numbers on the CI side).
+  std::vector<PhaseEvent> events;
+  events.push_back({5'000'000'000'000, 1'234'567'891'234, Phase::kDeliver});
+  events.push_back({9'876'543'210'987, 42, Phase::kMine});
+
+  std::ostringstream os;
+  write_chrome_trace(os, events, TelemetrySnapshot{});
+  const std::string text = os.str();
+  EXPECT_EQ(text.find("e+"), std::string::npos);  // no scientific notation
+  EXPECT_EQ(text.find("e-"), std::string::npos);
+  EXPECT_NE(text.find("\"ts\":0.000,\"dur\":1234567891.234"),
+            std::string::npos);
+  // Second event rebased against the first scope's start.
+  EXPECT_NE(text.find("\"ts\":4876543210.987,\"dur\":0.042"),
+            std::string::npos);
+  (void)support::parse_json(text);  // still a valid JSON document
+}
+
 TEST(Telemetry, ChromeTraceValidWithNoEvents) {
   // An OFF build has no timeline; the document must still parse (the
   // CLI writes it with a note either way).
