@@ -6,6 +6,7 @@
 //                  [--checkpoint P] [--resume] [--stop-after-waves N]
 //                  [--trace P] [--trace-rounds A:B] [--chrome-trace P]
 //                  [--progress] [--telemetry-meta]
+//                  [--oracle] [--oracle-dump P] [--oracle-max-runs N]
 //       loads a scenario file, builds the sweep grid and executes every
 //       (cell × seed) engine run on one work pool, reporting through the
 //       same stdout/CSV/JSON sink stack the benches use.  The override
@@ -30,6 +31,22 @@
 //       telemetry counters into the report meta.  None of these change
 //       summary values: the traced run is read-only and extra.
 //
+//       Falsification (docs/observability.md): --oracle re-runs the grid
+//       serially after the report with the invariant oracle armed
+//       (invariants from the spec's "oracle" block; common-prefix at
+//       T = violation_t by default) and reports the first violation;
+//       --oracle-dump P additionally writes it as a replayable artifact;
+//       --oracle-max-runs N caps the scan.  Oracle runs are read-only
+//       observers too — sweep summaries never change.
+//
+//   neatbound_cli replay <artifact.json>
+//       re-executes a violation artifact deterministically to its
+//       violating round and re-asserts the oracle verdict bit-for-bit:
+//       exit 0 when the violation, every honest view and every trace
+//       record reproduce exactly; exit 1 with the divergences otherwise;
+//       exit 2 when the artifact itself is truncated or tampered (the
+//       strict reader names the offence).
+//
 //   neatbound_cli list [--scenarios DIR]
 //       prints every registered network model and adversary strategy
 //       (with accepted parameters), plus the *.json files in DIR when
@@ -49,6 +66,7 @@
 #include <vector>
 
 #include "exp/bench_io.hpp"
+#include "scenario/artifact.hpp"
 #include "scenario/registry.hpp"
 #include "scenario/report.hpp"
 #include "scenario/runner.hpp"
@@ -67,6 +85,8 @@ int usage(std::ostream& os, int code) {
         "commands:\n"
         "  run <scenario.json> [flags]   execute a scenario (--help for "
         "flags)\n"
+        "  replay <artifact.json>        re-execute a violation artifact "
+        "and re-assert the verdict\n"
         "  list [--scenarios DIR]        registered network models and "
         "adversary strategies\n"
         "  describe <scenario.json>      parsed + validated scenario "
@@ -172,6 +192,17 @@ int run_command(int argc, char** argv) {
   const bool telemetry_meta = args.get_bool(
       "telemetry-meta", false,
       "stamp folded telemetry counters into the report meta");
+  bool oracle_armed = args.get_bool(
+      "oracle", false,
+      "scan the grid serially with the invariant oracle armed, report the "
+      "first violation");
+  const std::string oracle_dump = args.get_string(
+      "oracle-dump", "",
+      "write the first violation as a replayable artifact (implies "
+      "--oracle)");
+  const std::uint64_t oracle_max_runs_flag = args.get_uint(
+      "oracle-max-runs", 0,
+      "cap the oracle scan at N engine runs (0 = spec value / unlimited)");
   const exp::BenchOptions io = exp::parse_bench_options(args);
   if (args.handle_help(std::cout)) return 0;
   if (!has_path) {
@@ -198,6 +229,13 @@ int run_command(int argc, char** argv) {
   if (chrome_path == "true") {
     std::cerr << "neatbound_cli run: --chrome-trace expects a path\n";
     return 2;
+  }
+  if (oracle_dump == "true") {
+    std::cerr << "neatbound_cli run: --oracle-dump expects a path\n";
+    return 2;
+  }
+  if (!oracle_dump.empty() || oracle_max_runs_flag != 0) {
+    oracle_armed = true;
   }
   sim::TraceBounds trace_bounds;
   if (!trace_rounds_text.empty()) {
@@ -298,6 +336,41 @@ int run_command(int argc, char** argv) {
     }
   };
 
+  // The falsification scan (--oracle) also runs after the sweep, one
+  // serial armed run per (cell × seed) in grid order, stopping at the
+  // first violation — like the traced run, pure observation on top of an
+  // unchanged report.
+  const auto run_oracle_scan = [&]() {
+    if (!oracle_armed) return;
+    const std::uint64_t max_runs =
+        oracle_max_runs_flag != 0
+            ? oracle_max_runs_flag
+            : (spec.oracle ? spec.oracle->max_runs : 0);
+    const scenario::OracleScanResult scan =
+        scenario::run_scenario_oracle(spec, registry, max_runs);
+    if (!scan.artifact) {
+      std::cout << "# oracle: no violation in " << scan.runs_scanned
+                << " run(s) scanned\n";
+      if (!oracle_dump.empty()) {
+        std::cout << "# oracle-artifact: nothing to write (no violation)\n";
+      }
+      return;
+    }
+    const sim::OracleViolation& violation = scan.artifact->violation;
+    std::cout << "# oracle: " << sim::invariant_name(violation.kind)
+              << " violation at round " << violation.round << " (measured "
+              << violation.measured << ", bound " << violation.bound
+              << ", seed " << scan.artifact->engine.seed << ", cell "
+              << scan.cell_index << ", run " << scan.runs_scanned << " of the "
+              << "scan)\n";
+    if (!oracle_dump.empty()) {
+      scenario::write_artifact_file(oracle_dump, *scan.artifact);
+      std::cout << "# oracle-artifact: -> " << oracle_dump
+                << " (replay with: neatbound_cli replay " << oracle_dump
+                << ")\n";
+    }
+  };
+
   if (!adaptive_path) {
     const std::vector<exp::SweepCell> cells =
         scenario::run_scenario(spec, registry, run_options);
@@ -311,6 +384,7 @@ int run_command(int argc, char** argv) {
     scenario::render_report(spec, cells, report);
     report.finish();
     write_traces();
+    run_oracle_scan();
     return 0;
   }
 
@@ -341,12 +415,70 @@ int run_command(int argc, char** argv) {
       std::cout << "# trace output skipped: run interrupted by "
                    "--stop-after-waves, no trace files written\n";
     }
+    if (oracle_armed) {
+      std::cout << "# oracle scan skipped: run interrupted by "
+                   "--stop-after-waves\n";
+    }
     return 3;
   }
   scenario::render_adaptive_report(spec, result.cells, report);
   report.finish();
   write_traces();
+  run_oracle_scan();
   return 0;
+}
+
+int replay_command(int argc, char** argv) {
+  if (argc >= 3 && std::string(argv[2]) == "--help") {
+    std::cout << "usage: neatbound_cli replay <artifact.json>\n"
+                 "  re-executes the artifact's run to its violating round "
+                 "and re-asserts the oracle verdict.\n"
+                 "  exit 0: reproduced bit-for-bit; exit 1: replay "
+                 "diverged; exit 2: unreadable/tampered artifact.\n";
+    return 0;
+  }
+  if (argc < 3 || std::string(argv[2]).rfind("--", 0) == 0) {
+    std::cerr << "neatbound_cli replay: expected an artifact file path\n";
+    return usage(std::cerr, 2);
+  }
+  const std::string path = argv[2];
+  CliArgs args(argc - 2, argv + 2);
+  if (args.handle_help(std::cout)) return 0;
+  args.reject_unconsumed();
+
+  scenario::ViolationArtifact artifact;
+  try {
+    artifact = scenario::load_artifact_file(path);
+  } catch (const std::exception& e) {
+    std::cerr << "neatbound_cli replay: " << e.what() << "\n";
+    return 2;
+  }
+  std::cout << "# artifact: " << sim::invariant_name(artifact.violation.kind)
+            << " violation at round " << artifact.violation.round
+            << " (measured " << artifact.violation.measured << ", bound "
+            << artifact.violation.bound << ")\n";
+  std::cout << "# engine: miners=" << artifact.engine.miner_count
+            << " nu=" << artifact.engine.adversary_fraction
+            << " delta=" << artifact.engine.delta
+            << " p=" << artifact.engine.p
+            << " seed=" << artifact.engine.seed << ", adversary "
+            << artifact.adversary.kind << ", network " << artifact.network.kind
+            << "\n";
+  const scenario::ReplayResult result = scenario::replay_artifact(
+      artifact, scenario::ScenarioRegistry::builtin());
+  if (result.reproduced) {
+    std::cout << "# replay: reproduced — same violation, "
+              << artifact.views.size() << " view(s) and "
+              << artifact.slice.size()
+              << " trace record(s) all bit-identical\n";
+    return 0;
+  }
+  std::cerr << "# replay: FAILED to reproduce (" << result.mismatches.size()
+            << " divergence(s)):\n";
+  for (const std::string& mismatch : result.mismatches) {
+    std::cerr << "#   " << mismatch << "\n";
+  }
+  return 1;
 }
 
 int list_command(int argc, char** argv) {
@@ -466,6 +598,7 @@ int main(int argc, char** argv) {
     if (argc < 2) return usage(std::cerr, 2);
     const std::string command = argv[1];
     if (command == "run") return run_command(argc, argv);
+    if (command == "replay") return replay_command(argc, argv);
     if (command == "list") return list_command(argc, argv);
     if (command == "describe") return describe_command(argc, argv);
     if (command == "--help" || command == "help") {

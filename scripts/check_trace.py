@@ -4,6 +4,7 @@ trace) against the documented schema.
 
 Usage:
     check_trace.py TRACE.jsonl [--chrome CHROME.json] [--allow-empty]
+    check_trace.py --artifact VIOLATION.json
     check_trace.py --self-test
 
 This is the CI-side half of the trace contract: `neatbound_cli run
@@ -27,6 +28,17 @@ record (one JSON object per line):
 a "traceEvents" list whose events carry a "ph" in {M, X, I}, with
 complete ("X") events holding finite non-negative ts/dur numbers (the
 exporter emits fixed-point fractional microseconds, e.g. 1234.567).
+
+--artifact validates a replayable violation artifact from `neatbound_cli
+run --oracle --oracle-dump` (schema in docs/observability.md): the
+"neatbound-violation-v1" format tag, exact key sets at every level, a
+known invariant name, a measured value that actually violates the bound
+(strictly above it for common-prefix, strictly below for the window
+invariants), a violating round inside the run, views indexed 0..n-1
+with fixed-width "0x"+16-hex-digit hashes, and a trace slice that
+passes every per-record trace check above, is contiguous, ends exactly
+at the violating round, and — for common-prefix violations — ends with
+violation_depth equal to the measured depth.
 
 Plain python3, stdlib only.  Exit 0 on success, 1 on violations.
 """
@@ -179,6 +191,183 @@ def check_chrome_trace(text: str, *, label: str = "chrome") -> list[str]:
     return errors
 
 
+ARTIFACT_FORMAT = "neatbound-violation-v1"
+ARTIFACT_KEYS = ("format", "engine", "violation_t", "oracle", "adversary",
+                 "network", "violation", "views", "trace")
+ENGINE_KEYS = ("miners", "nu", "delta", "rounds", "p", "seed")
+ORACLE_KEYS = ("common_prefix", "common_prefix_t", "growth_window",
+               "growth_min_blocks", "quality_window", "quality_min_ratio",
+               "slice_rounds")
+VIOLATION_KEYS = ("invariant", "round", "measured", "bound", "view_a",
+                  "view_b")
+VIEW_KEYS = ("miner", "tip", "height", "hash")
+INVARIANTS = ("common-prefix", "chain-growth", "chain-quality")
+_HEX_DIGITS = set("0123456789abcdef")
+
+
+def _is_hash(value: object) -> bool:
+    return (isinstance(value, str) and len(value) == 18
+            and value.startswith("0x") and set(value[2:]) <= _HEX_DIGITS)
+
+
+def _check_keys(obj: object, expected: tuple, where: str,
+                errors: list) -> bool:
+    if not isinstance(obj, dict):
+        errors.append(f"{where}: not a JSON object")
+        return False
+    keys, want = set(obj), set(expected)
+    if keys != want:
+        missing = sorted(want - keys)
+        extra = sorted(keys - want)
+        detail = []
+        if missing:
+            detail.append(f"missing {missing}")
+        if extra:
+            detail.append(f"unexpected {extra}")
+        errors.append(f"{where}: wrong key set ({', '.join(detail)})")
+        return False
+    return True
+
+
+def check_artifact(text: str, *, label: str = "artifact") -> list[str]:
+    """Validate a replayable violation artifact (empty list == valid)."""
+    errors: list[str] = []
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as exc:
+        return [f"{label}: not valid JSON: {exc}"]
+    if not _check_keys(doc, ARTIFACT_KEYS, label, errors):
+        return errors
+    if doc["format"] != ARTIFACT_FORMAT:
+        errors.append(f"{label}: format {doc['format']!r} is not "
+                      f"{ARTIFACT_FORMAT!r}")
+
+    engine = doc["engine"]
+    rounds = 0
+    if _check_keys(engine, ENGINE_KEYS, f"{label}: engine", errors):
+        for key in ("miners", "delta", "rounds", "seed"):
+            if not _is_uint(engine[key]):
+                errors.append(f"{label}: engine.{key} must be a "
+                              f"non-negative integer, got {engine[key]!r}")
+        for key in ("nu", "p"):
+            if not _is_nonneg_number(engine[key]):
+                errors.append(f"{label}: engine.{key} must be a finite "
+                              f"non-negative number, got {engine[key]!r}")
+        if _is_uint(engine["rounds"]):
+            rounds = engine["rounds"]
+
+    oracle = doc["oracle"]
+    slice_rounds = 0
+    if _check_keys(oracle, ORACLE_KEYS, f"{label}: oracle", errors):
+        if _is_uint(oracle["slice_rounds"]) and oracle["slice_rounds"] >= 1:
+            slice_rounds = oracle["slice_rounds"]
+        else:
+            errors.append(f"{label}: oracle.slice_rounds must be a positive "
+                          f"integer, got {oracle['slice_rounds']!r}")
+
+    for name, selector in (("adversary", "strategy"), ("network", "model")):
+        component = doc[name]
+        if not isinstance(component, dict) or selector not in component:
+            errors.append(f"{label}: {name} must be an object with a "
+                          f"{selector!r} selector")
+        elif not isinstance(component[selector], str):
+            errors.append(f"{label}: {name}.{selector} must be a string")
+
+    violation = doc["violation"]
+    violating_round = 0
+    measured = None
+    common_prefix = False
+    if _check_keys(violation, VIOLATION_KEYS, f"{label}: violation", errors):
+        for key in ("round", "measured", "bound", "view_a", "view_b"):
+            if not _is_uint(violation[key]):
+                errors.append(f"{label}: violation.{key} must be a "
+                              f"non-negative integer, "
+                              f"got {violation[key]!r}")
+        invariant = violation["invariant"]
+        if invariant not in INVARIANTS:
+            errors.append(f"{label}: unknown invariant {invariant!r} "
+                          f"(known: {', '.join(INVARIANTS)})")
+        elif _is_uint(violation["measured"]) and _is_uint(violation["bound"]):
+            common_prefix = invariant == "common-prefix"
+            measured = violation["measured"]
+            if common_prefix and measured <= violation["bound"]:
+                errors.append(f"{label}: common-prefix measured="
+                              f"{measured} does not exceed bound="
+                              f"{violation['bound']}")
+            if not common_prefix and measured >= violation["bound"]:
+                errors.append(f"{label}: {invariant} measured={measured} "
+                              f"not below bound={violation['bound']}")
+        if _is_uint(violation["round"]):
+            violating_round = violation["round"]
+            if violating_round < 1:
+                errors.append(f"{label}: violation.round is 1-based, "
+                              f"got {violating_round}")
+            if rounds and violating_round > rounds:
+                errors.append(f"{label}: violation.round {violating_round} "
+                              f"exceeds engine.rounds {rounds}")
+
+    views = doc["views"]
+    if not isinstance(views, list) or not views:
+        errors.append(f"{label}: views must be a non-empty list")
+    else:
+        for i, view in enumerate(views):
+            where = f"{label}: views[{i}]"
+            if not _check_keys(view, VIEW_KEYS, where, errors):
+                continue
+            if view["miner"] != i:
+                errors.append(f"{where}: miner {view['miner']!r} out of "
+                              f"order (expected {i})")
+            for key in ("tip", "height"):
+                if not _is_uint(view[key]):
+                    errors.append(f"{where}: {key} must be a non-negative "
+                                  f"integer, got {view[key]!r}")
+            if not _is_hash(view["hash"]):
+                errors.append(f"{where}: hash must be \"0x\" + 16 lowercase "
+                              f"hex digits, got {view['hash']!r}")
+        if isinstance(violation, dict):
+            for key in ("view_a", "view_b"):
+                if _is_uint(violation.get(key)) and \
+                        violation[key] >= len(views):
+                    errors.append(f"{label}: violation.{key}="
+                                  f"{violation[key]} has no matching view")
+
+    trace = doc["trace"]
+    if not isinstance(trace, list):
+        errors.append(f"{label}: trace must be a list")
+    else:
+        # Every per-record trace-schema check applies to the slice too.
+        lines = [json.dumps(record) for record in trace]
+        errors += check_trace_lines(lines, label=f"{label}: trace")
+        if trace and violating_round:
+            last = trace[-1]
+            first = trace[0]
+            if isinstance(last, dict) and last.get("round") != \
+                    violating_round:
+                errors.append(f"{label}: trace ends at round "
+                              f"{last.get('round')!r}, not the violating "
+                              f"round {violating_round}")
+            expected_len = min(violating_round, slice_rounds or
+                               violating_round)
+            if len(trace) != expected_len:
+                errors.append(f"{label}: trace has {len(trace)} record(s), "
+                              f"expected min(violation.round, slice_rounds)"
+                              f"={expected_len}")
+            elif isinstance(first, dict) and first.get("round") != \
+                    violating_round - expected_len + 1:
+                errors.append(f"{label}: trace starts at round "
+                              f"{first.get('round')!r}, expected "
+                              f"{violating_round - expected_len + 1}")
+            if common_prefix and measured is not None and \
+                    isinstance(last, dict) and \
+                    last.get("violation_depth") != measured:
+                errors.append(f"{label}: last trace record has "
+                              f"violation_depth="
+                              f"{last.get('violation_depth')!r} but the "
+                              f"frozen common-prefix measurement is "
+                              f"{measured}")
+    return errors
+
+
 # --- self-test ---------------------------------------------------------
 
 def _record(**overrides: object) -> dict:
@@ -266,6 +455,91 @@ _BAD_CHROMES = [
 ]
 
 
+def _artifact(**overrides: object) -> dict:
+    base = {
+        "format": ARTIFACT_FORMAT,
+        "engine": {"miners": 12, "nu": 0.4, "delta": 3, "rounds": 400,
+                   "p": 0.03, "seed": 611},
+        "violation_t": 3,
+        "oracle": {"common_prefix": True, "common_prefix_t": 3,
+                   "growth_window": 0, "growth_min_blocks": 1,
+                   "quality_window": 0, "quality_min_ratio": 0.05,
+                   "slice_rounds": 24},
+        "adversary": {"strategy": "fork-balancer"},
+        "network": {"model": "strategy"},
+        "violation": {"invariant": "common-prefix", "round": 2,
+                      "measured": 4, "bound": 3, "view_a": 0, "view_b": 1},
+        "views": [
+            {"miner": 0, "tip": 9, "height": 4,
+             "hash": "0x063f3615ae01bb1d"},
+            {"miner": 1, "tip": 11, "height": 5,
+             "hash": "0x065c3e9045d0c28a"},
+        ],
+        "trace": [
+            _record(),
+            _record(round=2, honest_mined=0, mined_by=[], delivered=4,
+                    adoptions=2, best_height=2, violation_depth=4),
+        ],
+    }
+    base.update(overrides)
+    return base
+
+
+def _mutated(path: list, value: object) -> str:
+    """The good artifact with one nested field replaced (None = delete)."""
+    doc = json.loads(json.dumps(_artifact()))
+    target = doc
+    for key in path[:-1]:
+        target = target[key]
+    if value is None:
+        del target[path[-1]]
+    else:
+        target[path[-1]] = value
+    return json.dumps(doc)
+
+
+_BAD_ARTIFACTS = [
+    ("artifact-not-json", "{nope", "not valid JSON"),
+    ("artifact-missing-key", _mutated(["violation_t"], None),
+     "wrong key set"),
+    ("artifact-extra-key", json.dumps({**_artifact(), "surprise": 1}),
+     "wrong key set"),
+    ("artifact-bad-format", _mutated(["format"], "neatbound-violation-v9"),
+     "is not 'neatbound-violation-v1'"),
+    ("artifact-engine-keys", _mutated(["engine", "seed"], None),
+     "wrong key set"),
+    ("artifact-bad-nu", _mutated(["engine", "nu"], -0.4),
+     "engine.nu"),
+    ("artifact-bad-invariant",
+     _mutated(["violation", "invariant"], "common-suffix"),
+     "unknown invariant"),
+    ("artifact-not-violating", _mutated(["violation", "measured"], 3),
+     "does not exceed bound"),
+    ("artifact-window-not-violating", json.dumps(_artifact(
+        violation={"invariant": "chain-growth", "round": 2, "measured": 5,
+                   "bound": 5, "view_a": 0, "view_b": 0})),
+     "not below bound"),
+    ("artifact-round-zero", _mutated(["violation", "round"], 0), "1-based"),
+    ("artifact-round-late", _mutated(["violation", "round"], 500),
+     "exceeds engine.rounds"),
+    ("artifact-view-order", _mutated(["views", 1, "miner"], 7),
+     "out of order"),
+    ("artifact-view-keys", _mutated(["views", 0, "tip"], None),
+     "wrong key set"),
+    ("artifact-bad-hash",
+     _mutated(["views", 0, "hash"], "0x063f3615ae01bb1z"),
+     "hex digits"),
+    ("artifact-view-index", _mutated(["violation", "view_b"], 9),
+     "no matching view"),
+    ("artifact-trace-schema",
+     _mutated(["trace", 0, "delivered"], None), "wrong key set"),
+    ("artifact-trace-end", _mutated(["violation", "round"], 3),
+     "not the violating round"),
+    ("artifact-trace-depth", _mutated(["trace", 1, "violation_depth"], 9),
+     "frozen common-prefix measurement"),
+]
+
+
 def self_test() -> int:
     failures = []
     errors = check_trace_lines(_GOOD_TRACE, label="good")
@@ -285,12 +559,21 @@ def self_test() -> int:
         if not any(needle in e for e in errors):
             failures.append(f"{name}: expected a violation containing "
                             f"{needle!r}, got {errors}")
+    errors = check_artifact(json.dumps(_artifact()), label="good-artifact")
+    if errors:
+        failures.append(f"good artifact flagged: {errors}")
+    for name, text, needle in _BAD_ARTIFACTS:
+        errors = check_artifact(text, label=name)
+        if not any(needle in e for e in errors):
+            failures.append(f"{name}: expected a violation containing "
+                            f"{needle!r}, got {errors}")
     if failures:
         for failure in failures:
             print(f"self-test FAILED: {failure}")
         return 1
-    print(f"OK: {len(_BAD_TRACES)} bad traces and {len(_BAD_CHROMES)} bad "
-          f"chrome exports rejected, good ones accepted")
+    print(f"OK: {len(_BAD_TRACES)} bad traces, {len(_BAD_CHROMES)} bad "
+          f"chrome exports and {len(_BAD_ARTIFACTS)} bad artifacts "
+          f"rejected, good ones accepted")
     return 0
 
 
@@ -300,6 +583,8 @@ def main() -> int:
                         help="round-trace JSONL file from --trace")
     parser.add_argument("--chrome",
                         help="Chrome trace JSON from --chrome-trace")
+    parser.add_argument("--artifact",
+                        help="violation artifact JSON from --oracle-dump")
     parser.add_argument("--allow-empty", action="store_true",
                         help="accept a trace with zero records")
     parser.add_argument("--self-test", action="store_true",
@@ -307,8 +592,9 @@ def main() -> int:
     args = parser.parse_args()
     if args.self_test:
         return self_test()
-    if args.trace is None and args.chrome is None:
-        parser.error("need a TRACE.jsonl, --chrome, or --self-test")
+    if args.trace is None and args.chrome is None and args.artifact is None:
+        parser.error("need a TRACE.jsonl, --chrome, --artifact, or "
+                     "--self-test")
     errors: list[str] = []
     if args.trace is not None:
         with open(args.trace, encoding="utf-8") as fh:
@@ -318,12 +604,16 @@ def main() -> int:
     if args.chrome is not None:
         with open(args.chrome, encoding="utf-8") as fh:
             errors += check_chrome_trace(fh.read(), label=args.chrome)
+    if args.artifact is not None:
+        with open(args.artifact, encoding="utf-8") as fh:
+            errors += check_artifact(fh.read(), label=args.artifact)
     for error in errors:
         print(error)
     if errors:
         print(f"FAILED: {len(errors)} violation(s)")
         return 1
-    checked = [p for p in (args.trace, args.chrome) if p is not None]
+    checked = [p for p in (args.trace, args.chrome, args.artifact)
+               if p is not None]
     print(f"OK: {', '.join(checked)} conform to the trace schema")
     return 0
 

@@ -41,6 +41,13 @@ class Params {
   [[nodiscard]] bool has(const std::string& name) const;
   [[nodiscard]] bool empty() const noexcept { return values_.empty(); }
 
+  /// Every entry in file order — the serialization view the violation
+  /// artifact writer (scenario/artifact.hpp) renders back to JSON.
+  [[nodiscard]] const std::vector<std::pair<std::string, JsonValue>>&
+  entries() const noexcept {
+    return values_;
+  }
+
   /// Canonical "key=value;" rendering of every entry in file order —
   /// the piece of a component's identity that adaptive-sweep checkpoint
   /// fingerprints fold in (numbers at full %.17g precision).

@@ -3,6 +3,8 @@
 #include <set>
 #include <stdexcept>
 
+#include "sim/oracle.hpp"
+
 namespace neatbound::scenario {
 
 namespace {
@@ -107,6 +109,69 @@ AdaptiveSpec parse_adaptive(const JsonValue& adaptive) {
   return out;
 }
 
+OracleSpec parse_oracle(const JsonValue& oracle) {
+  reject_unknown_keys(oracle,
+                      {"invariants", "common_prefix_t", "growth_window",
+                       "growth_min_blocks", "quality_window",
+                       "quality_min_ratio", "slice_rounds", "max_runs"},
+                      "oracle");
+  OracleSpec out;
+  if (const JsonValue* invariants = oracle.find("invariants")) {
+    out.invariants.clear();
+    for (const JsonValue& entry : invariants->as_array()) {
+      std::string name = entry.as_string();
+      if (!sim::parse_invariant_name(name)) {
+        std::string known;
+        for (const std::string& candidate : sim::invariant_names()) {
+          if (!known.empty()) known += ", ";
+          known += candidate;
+        }
+        throw std::runtime_error("oracle: unknown invariant \"" + name +
+                                 "\" (known: " + known + ")");
+      }
+      for (const std::string& existing : out.invariants) {
+        if (existing == name) {
+          throw std::runtime_error("oracle: duplicate invariant \"" + name +
+                                   "\"");
+        }
+      }
+      out.invariants.push_back(std::move(name));
+    }
+    if (out.invariants.empty()) {
+      throw std::runtime_error("oracle: \"invariants\" must not be empty");
+    }
+  }
+  if (const JsonValue* t = oracle.find("common_prefix_t")) {
+    out.common_prefix_t = t->as_uint();
+  }
+  out.growth_window = uint_or(oracle, "growth_window", out.growth_window);
+  out.growth_min_blocks =
+      uint_or(oracle, "growth_min_blocks", out.growth_min_blocks);
+  out.quality_window = uint_or(oracle, "quality_window", out.quality_window);
+  out.quality_min_ratio =
+      number_or(oracle, "quality_min_ratio", out.quality_min_ratio);
+  out.slice_rounds = uint_or(oracle, "slice_rounds", out.slice_rounds);
+  out.max_runs = uint_or(oracle, "max_runs", out.max_runs);
+  // Full arming rules (vacuous thresholds, slice bounds) live in
+  // sim::validate_oracle_config, applied when the block resolves to an
+  // OracleConfig; here only the window/threshold basics that are wrong
+  // in any resolution.
+  if (out.growth_window == 0) {
+    throw std::runtime_error("oracle: \"growth_window\" must be >= 1");
+  }
+  if (out.quality_window == 0) {
+    throw std::runtime_error("oracle: \"quality_window\" must be >= 1");
+  }
+  if (out.quality_min_ratio <= 0.0 || out.quality_min_ratio > 1.0) {
+    throw std::runtime_error(
+        "oracle: \"quality_min_ratio\" must be in (0, 1]");
+  }
+  if (out.slice_rounds == 0) {
+    throw std::runtime_error("oracle: \"slice_rounds\" must be >= 1");
+  }
+  return out;
+}
+
 ReportSpec parse_report(const JsonValue& report) {
   reject_unknown_keys(report, {"section_by", "section_label", "columns"},
                       "report");
@@ -152,7 +217,8 @@ ScenarioSpec parse_scenario(const JsonValue& document) {
   reject_unknown_keys(document,
                       {"name", "title", "description", "engine", "axes",
                        "hardness", "seeds", "base_seed", "violation_t",
-                       "adaptive", "adversary", "network", "report", "meta"},
+                       "adaptive", "oracle", "adversary", "network", "report",
+                       "meta"},
                       "scenario");
   ScenarioSpec spec;
   spec.name = document.at("name").as_string();
@@ -206,6 +272,10 @@ ScenarioSpec parse_scenario(const JsonValue& document) {
 
   if (const JsonValue* adaptive = document.find("adaptive")) {
     spec.adaptive = parse_adaptive(*adaptive);
+  }
+
+  if (const JsonValue* oracle = document.find("oracle")) {
+    spec.oracle = parse_oracle(*oracle);
   }
 
   if (const JsonValue* adversary = document.find("adversary")) {

@@ -89,6 +89,24 @@ struct AdaptiveSpec {
   double confidence = 0.95;
 };
 
+/// The "oracle" block: which lemma invariants `run --oracle` (and the
+/// falsification scan behind it) arms, plus its bounds.  Declared keys
+/// only, like every other block.  Window/threshold fields are read only
+/// when the matching invariant is listed; common_prefix_t defaults to
+/// the spec's violation_t (the consistency parameter the sweep already
+/// measures against).
+struct OracleSpec {
+  std::vector<std::string> invariants{"common-prefix"};
+  std::optional<std::uint64_t> common_prefix_t;
+  std::uint64_t growth_window = 64;
+  std::uint64_t growth_min_blocks = 1;
+  std::uint64_t quality_window = 64;
+  double quality_min_ratio = 0.05;
+  std::uint64_t slice_rounds = 64;
+  /// Scan budget in engine runs (0 = the whole grid × seeds).
+  std::uint64_t max_runs = 0;
+};
+
 struct ReportSpec {
   /// Axis whose value change starts a new section ("" = one section).
   std::string section_by;
@@ -118,6 +136,7 @@ struct ScenarioSpec {
   std::uint64_t base_seed = 12345;
   std::uint64_t violation_t = 8;
   std::optional<AdaptiveSpec> adaptive;  ///< sequential stopping when set
+  std::optional<OracleSpec> oracle;      ///< invariant-oracle defaults
 
   ComponentSpec adversary;  ///< kind defaults to "max-delay"
   ComponentSpec network;    ///< kind defaults to "strategy"

@@ -189,7 +189,13 @@ void ExecutionEngine::deliver_due(std::uint64_t round) {
       NEATBOUND_COUNT(kAdoptions);
       if (event.reorg_depth > 0) NEATBOUND_COUNT(kReorgs);
       note_adoption(d.recipient);
-      if (event.reorg_depth > 0) consistency_.observe_reorg(event.reorg_depth);
+      if (event.reorg_depth > 0) {
+        consistency_.observe_reorg(event.reorg_depth);
+        if (event.reorg_depth > round_activity_.max_reorg_depth) {
+          round_activity_.max_reorg_depth = event.reorg_depth;
+          round_activity_.max_reorg_view = d.recipient;
+        }
+      }
     }
   });
 }
@@ -246,7 +252,13 @@ void ExecutionEngine::honest_mining_phase(std::uint64_t round) {
       NEATBOUND_COUNT(kAdoptions);
       if (event.reorg_depth > 0) NEATBOUND_COUNT(kReorgs);
       note_adoption(m);
-      if (event.reorg_depth > 0) consistency_.observe_reorg(event.reorg_depth);
+      if (event.reorg_depth > 0) {
+        consistency_.observe_reorg(event.reorg_depth);
+        if (event.reorg_depth > round_activity_.max_reorg_depth) {
+          round_activity_.max_reorg_depth = event.reorg_depth;
+          round_activity_.max_reorg_view = m;
+        }
+      }
     }
     adversary_->on_honest_block(round, index);
     broadcast_honest(round, m, index);

@@ -67,6 +67,12 @@ struct RoundActivity {
   std::uint32_t adversary_mined = 0;
   std::uint32_t delivered = 0;
   std::uint32_t adoptions = 0;
+  /// Deepest reorg any honest view performed this round (0 = none) and
+  /// the view that performed it.  Input to the per-round invariant oracle
+  /// (sim/oracle.hpp); like every other field here, never read back by
+  /// simulation code.
+  std::uint64_t max_reorg_depth = 0;
+  std::uint32_t max_reorg_view = 0;
 };
 
 struct RunResult {

@@ -1,0 +1,253 @@
+#include "sim/oracle.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/contracts.hpp"
+
+namespace neatbound::sim {
+
+namespace {
+
+constexpr const char* kInvariantNames[] = {
+    "common-prefix",
+    "chain-growth",
+    "chain-quality",
+};
+
+/// ceil(ratio · window) in honest blocks; ratio round-trips artifacts
+/// via %.17g, so replay recomputes the identical threshold.
+std::uint64_t quality_required(const OracleConfig& config) {
+  return static_cast<std::uint64_t>(
+      std::ceil(config.quality_min_ratio *
+                static_cast<double>(config.quality_window)));
+}
+
+}  // namespace
+
+const char* invariant_name(InvariantKind kind) noexcept {
+  return kInvariantNames[static_cast<std::size_t>(kind)];
+}
+
+std::optional<InvariantKind> parse_invariant_name(
+    std::string_view name) noexcept {
+  constexpr std::size_t kCount =
+      sizeof(kInvariantNames) / sizeof(kInvariantNames[0]);
+  for (std::size_t i = 0; i < kCount; ++i) {
+    if (name == kInvariantNames[i]) {
+      return static_cast<InvariantKind>(i);
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<std::string> invariant_names() {
+  return {std::begin(kInvariantNames), std::end(kInvariantNames)};
+}
+
+void validate_oracle_config(const OracleConfig& config) {
+  const bool growth_armed = config.growth_window > 0;
+  const bool quality_armed = config.quality_window > 0;
+  NEATBOUND_EXPECTS(config.common_prefix || growth_armed || quality_armed,
+                    "oracle config arms no invariant");
+  if (growth_armed) {
+    NEATBOUND_EXPECTS(config.growth_min_blocks > 0,
+                      "chain-growth with growth_min_blocks = 0 is vacuous");
+  }
+  if (quality_armed) {
+    NEATBOUND_EXPECTS(config.quality_min_ratio > 0.0 &&
+                          config.quality_min_ratio <= 1.0,
+                      "chain-quality needs quality_min_ratio in (0, 1]");
+  }
+  NEATBOUND_EXPECTS(config.slice_rounds >= 1,
+                    "slice_rounds must retain at least one round");
+  NEATBOUND_EXPECTS(config.slice_rounds <= (std::uint64_t{1} << 20),
+                    "slice_rounds exceeds the trace record cap");
+}
+
+InvariantOracle::InvariantOracle(OracleConfig config) : config_(config) {
+  validate_oracle_config(config_);
+  if (config_.growth_window > 0) {
+    height_ring_.assign(config_.growth_window, 0);
+  }
+  record_ring_.resize(config_.slice_rounds);
+}
+
+ExecutionEngine::RoundObserver InvariantOracle::observer() {
+  return [this](const ExecutionEngine& engine, std::uint64_t round) {
+    observe(engine, round);
+  };
+}
+
+void InvariantOracle::observe(const ExecutionEngine& engine,
+                              std::uint64_t round) {
+  ++rounds_observed_;
+  record_round(engine, round);
+  // Fixed assertion order; the first failure across rounds (and, within
+  // a round, in this order) freezes the snapshot — fully deterministic.
+  check_common_prefix(engine, round);
+  if (config_.growth_window > 0) check_chain_growth(engine, round);
+  if (config_.quality_window > 0) check_chain_quality(engine, round);
+}
+
+void InvariantOracle::record_round(const ExecutionEngine& engine,
+                                   std::uint64_t round) {
+  if (violation_.has_value()) return;  // the slice is frozen
+  // Circular slot reuse: assign into the slot so mined_by keeps its
+  // capacity — steady state allocates nothing.
+  RoundRecord& slot = record_ring_[(round - 1) % config_.slice_rounds];
+  const RoundActivity& activity = engine.round_activity();
+  slot.round = round;
+  slot.honest_mined = activity.honest_mined;
+  slot.adversary_mined = activity.adversary_mined;
+  slot.mined_by.assign(engine.round_miners().begin(),
+                       engine.round_miners().end());
+  slot.delivered = activity.delivered;
+  slot.adoptions = activity.adoptions;
+  slot.best_height = engine.best_height();
+  slot.violation_depth = engine.violation_depth();
+}
+
+void InvariantOracle::check_common_prefix(const ExecutionEngine& engine,
+                                          std::uint64_t round) {
+  const auto tips = engine.honest_tips();
+  const auto& store = engine.store();
+  // Distinct tips in first-occurrence order, remembering the first view
+  // holding each — the pairwise maximum is order-independent (same
+  // contract as ConsistencyTracker::observe_round), the owners make the
+  // offending pair deterministic.
+  tip_scratch_.clear();
+  tip_owner_scratch_.clear();
+  for (std::uint32_t m = 0; m < tips.size(); ++m) {
+    const protocol::BlockIndex tip = tips[m];
+    if (std::find(tip_scratch_.begin(), tip_scratch_.end(), tip) !=
+        tip_scratch_.end()) {
+      continue;
+    }
+    tip_scratch_.push_back(tip);
+    tip_owner_scratch_.push_back(m);
+  }
+  std::uint64_t divergence = 0;
+  std::size_t arg_i = 0;
+  std::size_t arg_j = 0;
+  for (std::size_t i = 0; i < tip_scratch_.size(); ++i) {
+    for (std::size_t j = i + 1; j < tip_scratch_.size(); ++j) {
+      const std::uint64_t common =
+          store.common_prefix_height(tip_scratch_[i], tip_scratch_[j]);
+      const std::uint64_t deeper = std::max(store.height_of(tip_scratch_[i]),
+                                            store.height_of(tip_scratch_[j]));
+      if (deeper - common > divergence) {
+        divergence = deeper - common;
+        arg_i = i;
+        arg_j = j;
+      }
+    }
+  }
+  const std::uint64_t reorg = engine.round_activity().max_reorg_depth;
+  const std::uint64_t depth = std::max(divergence, reorg);
+  max_round_depth_ = std::max(max_round_depth_, depth);
+  if (!config_.common_prefix || violation_.has_value()) return;
+  if (depth <= config_.common_prefix_t) return;
+  OracleViolation violation;
+  violation.kind = InvariantKind::kCommonPrefix;
+  violation.round = round;
+  violation.measured = depth;
+  violation.bound = config_.common_prefix_t;
+  if (divergence >= reorg) {
+    violation.view_a = tip_owner_scratch_[arg_i];
+    violation.view_b = tip_owner_scratch_[arg_j];
+  } else {
+    // A reorg alone exceeded T: the reorging view is both offenders.
+    violation.view_a = engine.round_activity().max_reorg_view;
+    violation.view_b = violation.view_a;
+  }
+  freeze(engine, violation);
+}
+
+void InvariantOracle::check_chain_growth(const ExecutionEngine& engine,
+                                         std::uint64_t round) {
+  const std::uint64_t window = config_.growth_window;
+  const std::uint64_t height = engine.best_height();
+  // height_ring_[r % W] holds the best height after round r; the slot
+  // about to be overwritten is exactly the value from W rounds ago.
+  if (round > window && !violation_.has_value()) {
+    const std::uint64_t before = height_ring_[round % window];
+    const std::uint64_t grown = height - before;
+    if (grown < config_.growth_min_blocks) {
+      OracleViolation violation;
+      violation.kind = InvariantKind::kChainGrowth;
+      violation.round = round;
+      violation.measured = grown;
+      violation.bound = config_.growth_min_blocks;
+      freeze(engine, violation);
+    }
+  }
+  height_ring_[round % window] = height;
+}
+
+void InvariantOracle::check_chain_quality(const ExecutionEngine& engine,
+                                          std::uint64_t round) {
+  const std::uint64_t window = config_.quality_window;
+  if (violation_.has_value()) return;
+  if (engine.best_height() < window) return;  // chain not yet K deep
+  const auto& store = engine.store();
+  protocol::BlockIndex block = engine.best_honest_tip();
+  std::uint64_t honest = 0;
+  for (std::uint64_t i = 0; i < window; ++i) {
+    if (store.miner_class_of(block) == protocol::MinerClass::kHonest) {
+      ++honest;
+    }
+    block = store.parent_of(block);
+  }
+  const std::uint64_t required = quality_required(config_);
+  if (honest >= required) return;
+  OracleViolation violation;
+  violation.kind = InvariantKind::kChainQuality;
+  violation.round = round;
+  violation.measured = honest;
+  violation.bound = required;
+  freeze(engine, violation);
+}
+
+void InvariantOracle::freeze(const ExecutionEngine& engine,
+                             OracleViolation violation) {
+  violation_ = violation;
+  const auto tips = engine.honest_tips();
+  const auto& store = engine.store();
+  views_.clear();
+  views_.reserve(tips.size());
+  for (std::uint32_t m = 0; m < tips.size(); ++m) {
+    ViewSnapshot snapshot;
+    snapshot.miner = m;
+    snapshot.tip = tips[m];
+    snapshot.height = store.height_of(tips[m]);
+    snapshot.hash = store.hash_of(tips[m]);
+    views_.push_back(snapshot);
+  }
+  // Materialize the ring oldest-first, ending at the violating round.
+  const std::uint64_t count =
+      std::min<std::uint64_t>(violation.round, config_.slice_rounds);
+  slice_.clear();
+  slice_.reserve(count);
+  for (std::uint64_t r = violation.round - count + 1; r <= violation.round;
+       ++r) {
+    slice_.push_back(record_ring_[(r - 1) % config_.slice_rounds]);
+  }
+}
+
+const OracleViolation& InvariantOracle::first_violation() const {
+  NEATBOUND_EXPECTS(violation_.has_value(), "no violation was observed");
+  return *violation_;
+}
+
+const std::vector<ViewSnapshot>& InvariantOracle::violating_views() const {
+  NEATBOUND_EXPECTS(violation_.has_value(), "no violation was observed");
+  return views_;
+}
+
+const std::vector<RoundRecord>& InvariantOracle::violation_slice() const {
+  NEATBOUND_EXPECTS(violation_.has_value(), "no violation was observed");
+  return slice_;
+}
+
+}  // namespace neatbound::sim

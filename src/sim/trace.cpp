@@ -116,6 +116,46 @@ constexpr const char* kRecordKeys[] = {
 
 }  // namespace
 
+RoundRecord round_record_from_json(const support::JsonValue& value) {
+  if (!value.is_object()) {
+    throw std::runtime_error("expected a JSON object");
+  }
+  const auto& members = value.as_object();
+  constexpr std::size_t kKeyCount =
+      sizeof(kRecordKeys) / sizeof(kRecordKeys[0]);
+  if (members.size() != kKeyCount) {
+    throw std::runtime_error("expected exactly " + std::to_string(kKeyCount) +
+                             " keys, got " + std::to_string(members.size()));
+  }
+  for (const char* key : kRecordKeys) {
+    if (value.find(key) == nullptr) {
+      throw std::runtime_error(std::string("missing key \"") + key + "\"");
+    }
+  }
+  RoundRecord record;
+  record.round = value.at("round").as_uint();
+  record.honest_mined =
+      static_cast<std::uint32_t>(value.at("honest_mined").as_uint());
+  record.adversary_mined =
+      static_cast<std::uint32_t>(value.at("adversary_mined").as_uint());
+  for (const support::JsonValue& id : value.at("mined_by").as_array()) {
+    record.mined_by.push_back(static_cast<std::uint32_t>(id.as_uint()));
+  }
+  record.delivered =
+      static_cast<std::uint32_t>(value.at("delivered").as_uint());
+  record.adoptions =
+      static_cast<std::uint32_t>(value.at("adoptions").as_uint());
+  record.best_height = value.at("best_height").as_uint();
+  record.violation_depth = value.at("violation_depth").as_uint();
+  // Empty mined_by with honest_mined > 0 is the aggregate-engine form
+  // (counting-only records, miner identity not modeled).
+  if (!record.mined_by.empty() &&
+      record.mined_by.size() != record.honest_mined) {
+    throw std::runtime_error("mined_by length disagrees with honest_mined");
+  }
+  return record;
+}
+
 std::vector<RoundRecord> read_trace_jsonl(std::istream& is) {
   std::vector<RoundRecord> records;
   std::string line;
@@ -130,52 +170,11 @@ std::vector<RoundRecord> read_trace_jsonl(std::istream& is) {
     if (saw_blank) {
       trace_error(line_number, "record after a blank line");
     }
-    support::JsonValue value;
-    try {
-      value = support::parse_json(line);
-    } catch (const std::exception& e) {
-      trace_error(line_number, e.what());
-    }
-    if (!value.is_object()) {
-      trace_error(line_number, "expected a JSON object");
-    }
-    const auto& members = value.as_object();
-    constexpr std::size_t kKeyCount =
-        sizeof(kRecordKeys) / sizeof(kRecordKeys[0]);
-    if (members.size() != kKeyCount) {
-      trace_error(line_number,
-                  "expected exactly " + std::to_string(kKeyCount) +
-                      " keys, got " + std::to_string(members.size()));
-    }
-    for (const char* key : kRecordKeys) {
-      if (value.find(key) == nullptr) {
-        trace_error(line_number, std::string("missing key \"") + key + "\"");
-      }
-    }
     RoundRecord record;
     try {
-      record.round = value.at("round").as_uint();
-      record.honest_mined =
-          static_cast<std::uint32_t>(value.at("honest_mined").as_uint());
-      record.adversary_mined =
-          static_cast<std::uint32_t>(value.at("adversary_mined").as_uint());
-      for (const support::JsonValue& id : value.at("mined_by").as_array()) {
-        record.mined_by.push_back(static_cast<std::uint32_t>(id.as_uint()));
-      }
-      record.delivered =
-          static_cast<std::uint32_t>(value.at("delivered").as_uint());
-      record.adoptions =
-          static_cast<std::uint32_t>(value.at("adoptions").as_uint());
-      record.best_height = value.at("best_height").as_uint();
-      record.violation_depth = value.at("violation_depth").as_uint();
+      record = round_record_from_json(support::parse_json(line));
     } catch (const std::exception& e) {
       trace_error(line_number, e.what());
-    }
-    // Empty mined_by with honest_mined > 0 is the aggregate-engine form
-    // (counting-only records, miner identity not modeled).
-    if (!record.mined_by.empty() &&
-        record.mined_by.size() != record.honest_mined) {
-      trace_error(line_number, "mined_by length disagrees with honest_mined");
     }
     if (!records.empty() && record.round <= records.back().round) {
       trace_error(line_number, "rounds must be strictly increasing");
@@ -185,20 +184,25 @@ std::vector<RoundRecord> read_trace_jsonl(std::istream& is) {
   return records;
 }
 
+RoundRecord make_round_record(const ExecutionEngine& engine,
+                              std::uint64_t round) {
+  const RoundActivity& activity = engine.round_activity();
+  RoundRecord record;
+  record.round = round;
+  record.honest_mined = activity.honest_mined;
+  record.adversary_mined = activity.adversary_mined;
+  record.mined_by.assign(engine.round_miners().begin(),
+                         engine.round_miners().end());
+  record.delivered = activity.delivered;
+  record.adoptions = activity.adoptions;
+  record.best_height = engine.best_height();
+  record.violation_depth = engine.violation_depth();
+  return record;
+}
+
 ExecutionEngine::RoundObserver make_round_tracer(RoundTraceSink& sink) {
   return [&sink](const ExecutionEngine& engine, std::uint64_t round) {
-    const RoundActivity& activity = engine.round_activity();
-    RoundRecord record;
-    record.round = round;
-    record.honest_mined = activity.honest_mined;
-    record.adversary_mined = activity.adversary_mined;
-    record.mined_by.assign(engine.round_miners().begin(),
-                           engine.round_miners().end());
-    record.delivered = activity.delivered;
-    record.adoptions = activity.adoptions;
-    record.best_height = engine.best_height();
-    record.violation_depth = engine.violation_depth();
-    sink.on_round(record);
+    sink.on_round(make_round_record(engine, round));
   };
 }
 

@@ -24,6 +24,10 @@
 
 #include "sim/engine.hpp"
 
+namespace neatbound::support {
+class JsonValue;  // support/json.hpp; kept out of this header's includes
+}  // namespace neatbound::support
+
 namespace neatbound::sim {
 
 /// One round's events.  Every field is numeric, so serialization needs
@@ -102,6 +106,22 @@ class BoundedTraceWriter final : public RoundTraceSink {
 /// The RoundRecord serialization the writer emits, exposed for tests and
 /// for tooling that wants single records.
 [[nodiscard]] std::string to_jsonl_line(const RoundRecord& record);
+
+/// The inverse of to_jsonl_line at single-record granularity: strict
+/// parse of one already-decoded JSON value (exactly the RoundRecord
+/// keys, integer fields, mined_by length honest_mined or empty).  Throws
+/// std::runtime_error without line context — read_trace_jsonl and the
+/// violation-artifact reader (scenario/artifact.hpp) wrap it to name the
+/// offending line or slice entry.
+[[nodiscard]] RoundRecord round_record_from_json(
+    const support::JsonValue& value);
+
+/// Assembles one RoundRecord from the engine's per-round activity
+/// accessors — the single definition of how engine state maps onto the
+/// trace schema, shared by make_round_tracer and the invariant oracle's
+/// slice recorder (sim/oracle.hpp).
+[[nodiscard]] RoundRecord make_round_record(const ExecutionEngine& engine,
+                                            std::uint64_t round);
 
 /// An engine observer that assembles a RoundRecord from the engine's
 /// per-round activity accessors after each round and feeds `sink`.  The

@@ -1,0 +1,70 @@
+// Golden violation corpus: checked-in artifacts frozen from four
+// distinct adversary-strategy × network-model cells, each replayed
+// through the full load→rebuild→rerun→compare path.  These pin the
+// artifact schema (the strict reader must keep accepting them), engine
+// determinism (the recorded seeds must keep producing the recorded
+// violations bit-for-bit), and the replay verdict logic, all at once —
+// any engine, RNG, registry or serialization change that silently
+// shifts trajectories turns one of these red.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "scenario/artifact.hpp"
+#include "scenario/registry.hpp"
+
+#ifndef NEATBOUND_FIXTURE_DIR
+#error "NEATBOUND_FIXTURE_DIR must point at tests/integration/fixtures"
+#endif
+
+namespace neatbound::scenario {
+namespace {
+
+struct GoldenCase {
+  const char* file;
+  const char* strategy;
+  const char* network;
+  std::uint64_t round;     ///< pinned first-violation round
+  std::uint64_t measured;  ///< pinned violation depth
+};
+
+// Pinned verdicts: regenerate with scripts in docs/observability.md if a
+// deliberate engine-semantics change lands, never to paper over drift.
+const std::vector<GoldenCase> kCorpus = {
+    {"fork_balancer_strategy.json", "fork-balancer", "strategy", 172, 4},
+    {"private_withhold_uniform.json", "private-withhold", "uniform", 23, 5},
+    {"balance_attack_split.json", "balance-attack", "split", 16, 4},
+    {"selfish_mining_bursty.json", "selfish-mining", "bursty", 183, 4},
+};
+
+std::string fixture_path(const char* file) {
+  return std::string(NEATBOUND_FIXTURE_DIR) + "/" + file;
+}
+
+TEST(ReplayCorpus, EveryGoldenArtifactReproduces) {
+  const auto& registry = ScenarioRegistry::builtin();
+  for (const GoldenCase& golden : kCorpus) {
+    SCOPED_TRACE(golden.file);
+    const ViolationArtifact artifact =
+        load_artifact_file(fixture_path(golden.file));
+
+    EXPECT_EQ(artifact.adversary.kind, golden.strategy);
+    EXPECT_EQ(artifact.network.kind, golden.network);
+    EXPECT_EQ(artifact.violation.kind, sim::InvariantKind::kCommonPrefix);
+    EXPECT_EQ(artifact.violation.round, golden.round);
+    EXPECT_EQ(artifact.violation.measured, golden.measured);
+    EXPECT_EQ(artifact.violation.bound, 3u);
+
+    const ReplayResult replay = replay_artifact(artifact, registry);
+    EXPECT_TRUE(replay.violated);
+    EXPECT_TRUE(replay.reproduced)
+        << (replay.mismatches.empty() ? std::string("(no mismatches?)")
+                                      : replay.mismatches.front());
+    EXPECT_EQ(replay.violation, artifact.violation);
+  }
+}
+
+}  // namespace
+}  // namespace neatbound::scenario

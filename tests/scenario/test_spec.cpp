@@ -178,11 +178,73 @@ TEST(Spec, RejectsBadAdaptiveBlocks) {
                std::runtime_error);
 }
 
+TEST(Spec, ParsesOracleBlock) {
+  const ScenarioSpec spec = parse_scenario(R"({
+    "name": "x",
+    "oracle": {
+      "invariants": ["common-prefix", "chain-quality"],
+      "common_prefix_t": 5,
+      "quality_window": 32,
+      "quality_min_ratio": 0.25,
+      "slice_rounds": 16,
+      "max_runs": 100
+    }
+  })");
+  ASSERT_TRUE(spec.oracle.has_value());
+  EXPECT_EQ(spec.oracle->invariants,
+            (std::vector<std::string>{"common-prefix", "chain-quality"}));
+  ASSERT_TRUE(spec.oracle->common_prefix_t.has_value());
+  EXPECT_EQ(*spec.oracle->common_prefix_t, 5u);
+  EXPECT_EQ(spec.oracle->quality_window, 32u);
+  EXPECT_DOUBLE_EQ(spec.oracle->quality_min_ratio, 0.25);
+  EXPECT_EQ(spec.oracle->slice_rounds, 16u);
+  EXPECT_EQ(spec.oracle->max_runs, 100u);
+
+  // Absent block: no oracle configured, T defaults happen downstream.
+  EXPECT_FALSE(parse_scenario(R"({"name": "x"})").oracle.has_value());
+  const ScenarioSpec defaults =
+      parse_scenario(R"({"name": "x", "oracle": {}})");
+  ASSERT_TRUE(defaults.oracle.has_value());
+  EXPECT_EQ(defaults.oracle->invariants,
+            (std::vector<std::string>{"common-prefix"}));
+  EXPECT_FALSE(defaults.oracle->common_prefix_t.has_value());
+}
+
+TEST(Spec, RejectsBadOracleBlocks) {
+  // Unknown invariant name, duplicates, empty list.
+  EXPECT_THROW((void)parse_scenario(
+                   R"({"name": "x", "oracle": {"invariants": ["nope"]}})"),
+               std::runtime_error);
+  EXPECT_THROW(
+      (void)parse_scenario(R"({"name": "x", "oracle":
+          {"invariants": ["common-prefix", "common-prefix"]}})"),
+      std::runtime_error);
+  EXPECT_THROW((void)parse_scenario(
+                   R"({"name": "x", "oracle": {"invariants": []}})"),
+               std::runtime_error);
+  // Unknown key inside the block.
+  EXPECT_THROW((void)parse_scenario(
+                   R"({"name": "x", "oracle": {"slices": 4}})"),
+               std::runtime_error);
+  // Out-of-range window/ratio/slice parameters.
+  EXPECT_THROW((void)parse_scenario(
+                   R"({"name": "x", "oracle": {"growth_window": 0}})"),
+               std::runtime_error);
+  EXPECT_THROW(
+      (void)parse_scenario(
+          R"({"name": "x", "oracle": {"quality_min_ratio": 1.5}})"),
+      std::runtime_error);
+  EXPECT_THROW((void)parse_scenario(
+                   R"({"name": "x", "oracle": {"slice_rounds": 0}})"),
+               std::runtime_error);
+}
+
 TEST(Spec, BundledScenariosParseAndValidate) {
   for (const char* file :
        {"adaptive_consistency.json", "balance_vs_forkbalancer.json",
         "bursty_partition.json", "consistency_sweep.json",
-        "eclipse_targeting.json", "uniform_jitter.json"}) {
+        "eclipse_targeting.json", "oracle_falsify.json",
+        "uniform_jitter.json"}) {
     const std::string path =
         std::string(NEATBOUND_SCENARIO_DIR) + "/" + file;
     const ScenarioSpec spec = load_scenario_file(path);
