@@ -167,7 +167,20 @@ int run_command(int argc, char** argv) {
       "base-seed", "override base seed (spec value otherwise)");
   overrides.violation_t = args.get_opt_uint(
       "violation-t", "override consistency depth T (spec value otherwise)");
+  const std::string rng_override = args.get_string(
+      "rng", "", "override the RNG discipline: counter | legacy");
+  if (!rng_override.empty()) {
+    if (rng_override != "counter" && rng_override != "legacy") {
+      std::cerr << "neatbound_cli run: --rng expects counter or legacy\n";
+      return 2;
+    }
+    overrides.rng = rng_override;
+  }
   scenario::ScenarioRunOptions run_options;
+  run_options.batch_seeds = static_cast<std::uint32_t>(args.get_uint(
+      "batch-seeds", 1,
+      "run W seeds of a cell as one lockstep batched pass (counter RNG "
+      "only; results are bit-identical for every W)"));
   run_options.checkpoint_path = args.get_string(
       "checkpoint", "", "snapshot accumulators here after every wave");
   if (run_options.checkpoint_path == "true") {

@@ -91,7 +91,7 @@ int main(int argc, char** argv) {
   // Validate the winning chain against the oracle (H.ver + PoW target).
   const auto report = protocol::validate_chain(
       engine.store(), engine.best_honest_tip(), engine.oracle(),
-      engine.target());
+      engine.target(), engine.validation_policy());
   std::cout << "Winning-chain validation (H.ver + PoW target): "
             << (report.valid ? "VALID" : ("INVALID - " + report.failure))
             << "\n\n";

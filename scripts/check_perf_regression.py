@@ -34,22 +34,37 @@ def latest_history_entry(path: str) -> dict:
     return entries[-1]
 
 
-def rounds_per_sec(path: str) -> float:
+def perf_entry(path: str) -> dict:
+    """The meta/entry dict holding the throughput keys for `path`."""
+    if path.endswith(".jsonl"):
+        entry = latest_history_entry(path)
+        print(f"{path}: latest entry {entry.get('sha', '?')[:12]} "
+              f"({entry.get('date', '?')})")
+        return entry
+    with open(path, encoding="utf-8") as fh:
+        return json.load(fh)["meta"]
+
+
+def throughput(entry: dict, path: str, key: str) -> float:
     try:
-        if path.endswith(".jsonl"):
-            entry = latest_history_entry(path)
-            value = float(entry["rounds_per_sec"])
-            print(f"{path}: latest entry {entry.get('sha', '?')[:12]} "
-                  f"({entry.get('date', '?')})")
-        else:
-            with open(path, encoding="utf-8") as fh:
-                doc = json.load(fh)
-            value = float(doc["meta"]["rounds_per_sec"])
+        value = float(entry[key])
     except (KeyError, TypeError, ValueError) as exc:
-        raise SystemExit(f"{path}: missing/invalid rounds_per_sec: {exc}")
+        raise SystemExit(f"{path}: missing/invalid {key}: {exc}")
     if value <= 0:
-        raise SystemExit(f"{path}: non-positive rounds_per_sec {value}")
+        raise SystemExit(f"{path}: non-positive {key} {value}")
     return value
+
+
+def gate(label: str, base: float, cur: float, max_regression: float) -> bool:
+    floor = base * (1.0 - max_regression)
+    ratio = cur / base
+    print(f"{label}: baseline {base:,.0f} rounds/s   current {cur:,.0f} "
+          f"rounds/s   ratio {ratio:.2f}   floor {floor:,.0f}")
+    if cur < floor:
+        print(f"FAIL: {label} regressed more than {max_regression:.0%}",
+              file=sys.stderr)
+        return False
+    return True
 
 
 def main() -> int:
@@ -60,16 +75,24 @@ def main() -> int:
                         help="allowed fractional slowdown (default 0.25)")
     args = parser.parse_args()
 
-    base = rounds_per_sec(args.baseline)
-    cur = rounds_per_sec(args.current)
-    floor = base * (1.0 - args.max_regression)
-    ratio = cur / base
-    print(f"baseline: {base:,.0f} rounds/s   current: {cur:,.0f} rounds/s   "
-          f"ratio: {ratio:.2f}   floor: {floor:,.0f}")
-    if cur < floor:
-        print(f"FAIL: throughput regressed more than "
-              f"{args.max_regression:.0%} against {args.baseline}",
-              file=sys.stderr)
+    base = perf_entry(args.baseline)
+    cur = perf_entry(args.current)
+    ok = gate("serial", throughput(base, args.baseline, "rounds_per_sec"),
+              throughput(cur, args.current, "rounds_per_sec"),
+              args.max_regression)
+    # Mode-aware batched gate: enforced only when both sides carry the
+    # batched row (older history entries predate the batch engine; a
+    # current run without the row means --batch-seeds was 0, which the
+    # CI invocation never does).
+    if "batched_rounds_per_sec" in base and "batched_rounds_per_sec" in cur:
+        ok = gate("batched",
+                  throughput(base, args.baseline, "batched_rounds_per_sec"),
+                  throughput(cur, args.current, "batched_rounds_per_sec"),
+                  args.max_regression) and ok
+    elif "batched_rounds_per_sec" in cur:
+        print("batched: no baseline row yet — skipping (will be gated once "
+              "the history records one)")
+    if not ok:
         return 1
     print("OK: within the regression budget")
     return 0

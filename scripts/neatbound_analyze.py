@@ -25,14 +25,18 @@ regress — each rule encodes a bug class a previous PR fixed by hand:
                       deliberately cold growth paths carry an in-source
                       allow with a written rationale.
   rng-stream          no std::<...>_distribution, no std RNG engines,
-                      no <random> include.  Their sequences are
+                      no <random> include — their sequences are
                       implementation-defined (non-reproducible across
-                      standard libraries), and sequential hidden-state
-                      draws are exactly what blocks the planned
-                      counter-based (cell, seed, round, miner)-
-                      addressable Philox streams.  Draws go through
-                      support/rng.hpp, batched at the call site in the
-                      style of protocol::try_mine_with_nonce.
+                      standard libraries).  Since the counter-based
+                      generator landed, the sequential support::Rng is
+                      additionally banned outside support/ itself: its
+                      hidden stream state is order-dependent, which is
+                      exactly what the cross-seed batched engine cannot
+                      replay.  New draws go through support/crng.hpp,
+                      addressed as (key = (cell, seed), counter =
+                      (round, actor, purpose, slot)); the RngMode::
+                      kLegacy compatibility sites carry in-source
+                      allows until the legacy path is retired.
   contract-coverage   every public mutating method defined in
                       protocol/, net/ and exp/ with a non-trivial body
                       (>= 2 statements) contains at least one
@@ -149,6 +153,11 @@ RNG_PATTERNS = [
     (re.compile(r"#\s*include\s*<random>"),
      "<random> is banned in src/ and cli/"),
 ]
+
+# The legacy sequential generator (support/rng.hpp) by unqualified class
+# name.  Does not match crng:: (no word boundary before the R) or RngMode
+# (no word boundary after the g).
+LEGACY_RNG_RE = re.compile(r"\bRng\b")
 
 # Simulation-core modules may not grow private file writers; the single
 # exemption is the sanctioned bounded trace serializer.
@@ -608,15 +617,29 @@ def rule_rng(model: Model) -> list[Finding]:
         if fm.module is None:
             continue
         for lineno, line in enumerate(fm.code_lines, 1):
+            hit = None
             for pattern, why in RNG_PATTERNS:
                 if pattern.search(line):
-                    out.append(Finding(
-                        fm.rel, lineno, "rng-stream",
-                        f"{why}; draw through support/rng.hpp and batch at "
-                        f"the call site (protocol::try_mine_with_nonce "
-                        f"pattern) to keep streams addressable for the "
-                        f"Philox migration"))
+                    hit = (f"{why}; key draws through support/crng.hpp "
+                           f"so every draw stays addressable as "
+                           f"(key, counter)")
                     break
+            # The sequential support::Rng is the pre-counter legacy path:
+            # hidden state makes draw N depend on draws 1..N-1, which is
+            # exactly what the batched engine cannot replay out of order.
+            # It survives behind RngMode::kLegacy for one release; those
+            # sites carry allows.  `\bRng\b` does not match crng:: or
+            # RngMode, and support/ itself (where Rng is defined) is
+            # exempt.
+            if hit is None and fm.module != "support" \
+                    and LEGACY_RNG_RE.search(line):
+                hit = ("sequential support::Rng draw outside support/: "
+                       "hidden stream state is order-dependent and blocks "
+                       "batched replay; new code keys draws through "
+                       "support/crng.hpp (legacy-mode sites carry an "
+                       "allow until kLegacy is retired)")
+            if hit is not None:
+                out.append(Finding(fm.rel, lineno, "rng-stream", hit))
     return out
 
 

@@ -3,6 +3,8 @@
 namespace neatbound::markov {
 
 RandomWalk::RandomWalk(const TransitionMatrix& matrix, std::size_t start,
+                       // neatbound-analyze: allow(rng-stream) —
+                       // analysis-side walk (see walk.hpp)
                        Rng rng)
     : matrix_(matrix), current_(start), rng_(rng) {
   NEATBOUND_EXPECTS(start < matrix.size(), "start state out of range");

@@ -14,6 +14,9 @@ namespace neatbound::markov {
 class RandomWalk {
  public:
   /// Starts at `start`; the walk owns its RNG stream.
+  // neatbound-analyze: allow(rng-stream) — analysis-side Monte Carlo
+  // cross-check, never batched or replayed out of order; a
+  // crng::Purpose::kWalk migration is reserved but not yet scheduled.
   RandomWalk(const TransitionMatrix& matrix, std::size_t start, Rng rng);
 
   /// Takes one step; returns the new state.
@@ -28,6 +31,7 @@ class RandomWalk {
  private:
   const TransitionMatrix& matrix_;
   std::size_t current_;
+  // neatbound-analyze: allow(rng-stream) — analysis-side walk (above)
   Rng rng_;
 };
 

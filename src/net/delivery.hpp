@@ -15,6 +15,7 @@
 
 #include "protocol/block.hpp"
 #include "support/contracts.hpp"
+#include "support/crng.hpp"
 #include "support/hot.hpp"
 #include "support/invariant.hpp"
 #include "support/rng.hpp"
@@ -102,6 +103,43 @@ class DeliveryCalendar {
 
   [[nodiscard]] std::size_t pending() const noexcept { return pending_; }
 
+  /// True iff anything is due at or before `round`.  Advances past empty
+  /// buckets exactly as drain_due would, so interleaving has_due with
+  /// drain_due keeps the ring state identical to calling drain_due alone
+  /// — the counter-mode quiet-round check relies on that equivalence.
+  // neatbound-analyze: allow(hot-hygiene) — mutating by design: the whole
+  // point is to advance base_round_ exactly as drain_due would.
+  [[nodiscard]] NEATBOUND_HOT bool has_due(std::uint64_t round) noexcept {
+    NEATBOUND_INVARIANT(std::has_single_bit(buckets_.size()),
+                        "calendar ring size must be a power of two");
+    if (pending_ == 0) {
+      if (round >= base_round_) base_round_ = round + 1;
+      return false;
+    }
+    while (base_round_ <= round && bucket_at(base_round_).empty()) {
+      ++base_round_;
+    }
+    return base_round_ <= round;
+  }
+
+  /// next_due_round's "nothing pending" sentinel.
+  static constexpr std::uint64_t kNever = ~std::uint64_t{0};
+
+  /// Earliest round ≥ `from` with something due, or kNever when nothing
+  /// is pending.  Pure lookahead (never advances the ring) for the
+  /// quiet-round bulk skip: callers probe it only after has_due(from)
+  /// returned false, so every pending entry sits in (from, from + span].
+  [[nodiscard]] std::uint64_t next_due_round(std::uint64_t from) const
+      noexcept {
+    if (pending_ == 0) return kNever;
+    const std::uint64_t start = from > base_round_ ? from : base_round_;
+    const std::uint64_t end = base_round_ + buckets_.size();
+    for (std::uint64_t r = start; r < end; ++r) {
+      if (!buckets_[r & (buckets_.size() - 1)].empty()) return r;
+    }
+    return kNever;
+  }
+
   /// Rounds the ring currently spans (diagnostic; grows on demand).
   [[nodiscard]] std::uint64_t horizon() const noexcept {
     return buckets_.size();
@@ -180,8 +218,13 @@ class MaxDelayDelivery final : public DeliverySchedule {
 };
 
 /// Random delays uniform on [1, Δ] — a non-adversarial jittery network.
+/// Legacy-mode counterpart of CounterUniformDelay below; reachable only
+/// when the scenario runs with RngMode::kLegacy.
 class UniformRandomDelay final : public DeliverySchedule {
  public:
+  // neatbound-analyze: allow(rng-stream) — RngMode::kLegacy compatibility
+  // path, kept bit-stable for one release; counter mode uses
+  // CounterUniformDelay.
   UniformRandomDelay(std::uint64_t delta, Rng rng) : delta_(delta), rng_(rng) {
     NEATBOUND_EXPECTS(delta >= 1, "delta must be >= 1");
   }
@@ -196,7 +239,40 @@ class UniformRandomDelay final : public DeliverySchedule {
 
  private:
   std::uint64_t delta_;
+  // neatbound-analyze: allow(rng-stream) — legacy-mode stream state (above)
   Rng rng_;
+};
+
+/// Counter-mode jittery network: the same delay distribution as
+/// UniformRandomDelay, but every delay is a pure function of
+/// (key, round, sender, recipient) — no stream state — so serial,
+/// batched and replayed runs read identical delays regardless of draw
+/// order.  Each honest miner broadcasts at most one block per round, so
+/// (round, sender, recipient) addresses every delay draw uniquely.
+class CounterUniformDelay final : public DeliverySchedule {
+ public:
+  CounterUniformDelay(std::uint64_t delta, crng::Key key)
+      : delta_(delta), key_(key) {
+    NEATBOUND_EXPECTS(delta >= 1, "delta must be >= 1");
+  }
+  // neatbound-analyze: allow(contract-coverage) — pure function of its
+  // arguments; the only precondition (Δ ≥ 1) is enforced at construction.
+  [[nodiscard]] std::uint64_t delay(std::uint64_t round, std::uint32_t sender,
+                                    std::uint32_t recipient,
+                                    protocol::BlockIndex) override {
+    if (delta_ == 1) return 1;
+    crng::Stream stream(key_, round,
+                        (static_cast<std::uint64_t>(sender) << 32) | recipient,
+                        crng::Purpose::kNetDelay);
+    return 1 + stream.uniform_below(delta_);
+  }
+  [[nodiscard]] std::uint64_t max_delay() const noexcept override {
+    return delta_;
+  }
+
+ private:
+  std::uint64_t delta_;
+  crng::Key key_;
 };
 
 /// Partition-keeping schedule: recipients in the sender's group get the

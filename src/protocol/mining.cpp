@@ -4,6 +4,8 @@ namespace neatbound::protocol {
 
 std::optional<Block> try_mine(const RandomOracle& oracle,
                               const PowTarget& target, HashValue parent_hash,
+                              // neatbound-analyze: allow(rng-stream) —
+                              // legacy-mode entry point
                               std::uint64_t payload_digest, Rng& rng) {
   return try_mine_with_nonce(oracle, target, parent_hash, payload_digest,
                              rng.bits());
@@ -18,6 +20,16 @@ std::optional<Block> try_mine_with_nonce(const RandomOracle& oracle,
   if (!target.satisfied_by(hash)) return std::nullopt;
   Block block;
   block.hash = hash;
+  block.parent_hash = parent_hash;
+  block.nonce = nonce;
+  block.payload_digest = payload_digest;
+  return block;
+}
+
+Block assemble_block(const RandomOracle& oracle, HashValue parent_hash,
+                     std::uint64_t payload_digest, std::uint64_t nonce) {
+  Block block;
+  block.hash = oracle.query(parent_hash, nonce, payload_digest);
   block.parent_hash = parent_hash;
   block.nonce = nonce;
   block.payload_digest = payload_digest;

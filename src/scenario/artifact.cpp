@@ -116,7 +116,7 @@ void write_component(std::ostream& os, const ComponentSpec& component,
 
 sim::EngineConfig parse_engine(const JsonValue& engine) {
   reject_unknown_keys(engine,
-                      {"miners", "nu", "delta", "rounds", "p", "seed"},
+                      {"miners", "nu", "delta", "rounds", "p", "seed", "rng"},
                       "engine");
   sim::EngineConfig config;
   config.miner_count = static_cast<std::uint32_t>(
@@ -126,6 +126,15 @@ sim::EngineConfig parse_engine(const JsonValue& engine) {
   config.delta = require(engine, "delta", "engine").as_uint();
   config.rounds = require(engine, "rounds", "engine").as_uint();
   config.seed = require(engine, "seed", "engine").as_uint();
+  const std::string rng = require(engine, "rng", "engine").as_string();
+  if (rng == "counter") {
+    config.rng_mode = sim::RngMode::kCounter;
+  } else if (rng == "legacy") {
+    config.rng_mode = sim::RngMode::kLegacy;
+  } else {
+    artifact_error("engine: rng must be 'counter' or 'legacy', got '" + rng +
+                   "'");
+  }
   try {
     sim::validate_engine_config(config);
   } catch (const std::exception& e) {
@@ -257,7 +266,10 @@ void write_artifact(std::ostream& os, const ViolationArtifact& artifact) {
      << ",\"delta\":" << u(artifact.engine.delta)
      << ",\"rounds\":" << u(artifact.engine.rounds)
      << ",\"p\":" << exp::exact_double_repr(artifact.engine.p)
-     << ",\"seed\":" << u(artifact.engine.seed) << "},\n";
+     << ",\"seed\":" << u(artifact.engine.seed) << ",\"rng\":\""
+     << (artifact.engine.rng_mode == sim::RngMode::kCounter ? "counter"
+                                                            : "legacy")
+     << "\"},\n";
   os << "\"violation_t\":" << u(artifact.violation_t) << ",\n";
   const sim::OracleConfig& oracle = artifact.oracle;
   os << "\"oracle\":{\"common_prefix\":"

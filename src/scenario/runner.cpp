@@ -10,6 +10,7 @@ namespace neatbound::scenario {
 
 void apply_overrides(ScenarioSpec& spec, const SpecOverrides& overrides) {
   if (overrides.miners) spec.miners = *overrides.miners;
+  if (overrides.rng) spec.rng = *overrides.rng;
   if (overrides.nu) spec.nu = *overrides.nu;
   if (overrides.delta) spec.delta = *overrides.delta;
   if (overrides.rounds) spec.rounds = *overrides.rounds;
@@ -57,6 +58,8 @@ sim::ExperimentConfig build_config(const ScenarioSpec& spec,
   config.engine.rounds = static_cast<std::uint64_t>(
       axis_or(spec, point, "rounds", static_cast<double>(spec.rounds)));
   config.engine.p = axis_or(spec, point, "p", spec.p);
+  config.engine.rng_mode =
+      spec.rng == "legacy" ? sim::RngMode::kLegacy : sim::RngMode::kCounter;
 
   if (spec.hardness_mode == "neat-bound-multiple") {
     // Operation-for-operation the arithmetic of bench_consistency_sweep:
@@ -133,6 +136,7 @@ exp::AdaptiveOptions resolve_adaptive_options(
   adaptive.checkpoint_path = options.checkpoint_path;
   adaptive.resume = options.resume;
   adaptive.stop_after_waves = options.stop_after_waves;
+  adaptive.batch_seeds = options.batch_seeds;
   adaptive.progress = options.progress;
   // The automatic fingerprint only sees engine configs; the registry
   // components (and their parameters) decide what those configs *run*,

@@ -229,7 +229,8 @@ ScenarioSpec parse_scenario(const JsonValue& document) {
   spec.description = string_or(document, "description", "");
 
   if (const JsonValue* engine = document.find("engine")) {
-    reject_unknown_keys(*engine, {"miners", "nu", "delta", "rounds", "p"},
+    reject_unknown_keys(*engine,
+                        {"miners", "nu", "delta", "rounds", "p", "rng"},
                         "engine");
     spec.miners = static_cast<std::uint32_t>(
         uint_or(*engine, "miners", spec.miners));
@@ -237,6 +238,14 @@ ScenarioSpec parse_scenario(const JsonValue& document) {
     spec.delta = uint_or(*engine, "delta", spec.delta);
     spec.rounds = uint_or(*engine, "rounds", spec.rounds);
     spec.p = number_or(*engine, "p", spec.p);
+    if (const JsonValue* rng = engine->find("rng")) {
+      spec.rng = rng->as_string();
+      if (spec.rng != "counter" && spec.rng != "legacy") {
+        throw std::runtime_error(
+            "engine.rng must be 'counter' or 'legacy', got \"" + spec.rng +
+            "\"");
+      }
+    }
   }
 
   if (const JsonValue* axes = document.find("axes")) {

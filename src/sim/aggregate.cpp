@@ -1,8 +1,11 @@
 #include "sim/aggregate.hpp"
 
+#include <bit>
 #include <cmath>
 
 #include "support/contracts.hpp"
+#include "support/crng.hpp"
+#include "support/rng.hpp"  // mix64 only (stateless key hashing)
 
 namespace neatbound::sim {
 
@@ -61,13 +64,27 @@ AggregateResult run_impl(const AggregateConfig& config,
   const auto adversary_n =
       static_cast<std::uint64_t>(std::llround(config.adversary_trials));
 
-  Rng rng(config.seed);
+  // Counter-keyed draws, mirroring engine_rng_key: the cell folds the
+  // trajectory-shaping parameters (trial counts, p, delta) and excludes
+  // `rounds` and `seed`, so a longer run of the same configuration is a
+  // bit-exact prefix extension and every round's binomials stay
+  // addressable as (key, round) — no sequential state to replay.
+  std::uint64_t cell = 0x61676772656e6764ULL;  // "aggrengd" domain tag
+  const auto fold = [&cell](std::uint64_t v) { cell = mix64(cell ^ v); };
+  fold(honest_n);
+  fold(adversary_n);
+  fold(std::bit_cast<std::uint64_t>(config.p));
+  fold(config.delta);
+  const crng::Key key{cell, config.seed};
+
   OpportunityCounter counter(config.delta);
   AggregateResult result;
   for (std::uint64_t t = 0; t < config.rounds; ++t) {
-    const auto h = static_cast<std::uint32_t>(rng.binomial(honest_n, config.p));
+    crng::Stream draws(key, /*a=*/t + 1, /*b=*/0, crng::Purpose::kAggregate);
+    const auto h =
+        static_cast<std::uint32_t>(draws.binomial(honest_n, config.p));
     const std::uint64_t a =
-        adversary_n == 0 ? 0 : rng.binomial(adversary_n, config.p);
+        adversary_n == 0 ? 0 : draws.binomial(adversary_n, config.p);
     counter.observe(h);
     result.honest_blocks += h;
     result.adversary_blocks += a;

@@ -13,7 +13,6 @@
 #include <vector>
 
 #include "sim/trace.hpp"
-#include "support/rng.hpp"
 
 namespace neatbound::sim {
 

@@ -1,0 +1,101 @@
+#include "sim/batch_engine.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "support/contracts.hpp"
+#include "support/telemetry.hpp"
+
+namespace neatbound::sim {
+
+std::vector<RunResult> run_batch(const EngineConfig& base,
+                                 std::span<const std::uint64_t> seeds,
+                                 const AdversaryFactory& factory,
+                                 const BatchOptions& options) {
+  NEATBOUND_EXPECTS(base.rng_mode == RngMode::kCounter,
+                    "run_batch requires counter RNG mode");
+  NEATBOUND_EXPECTS(!seeds.empty(), "run_batch needs at least one seed");
+  NEATBOUND_EXPECTS(
+      options.observers.empty() || options.observers.size() == seeds.size(),
+      "observers must be empty or one per seed");
+  const std::size_t width = seeds.size();
+
+  std::vector<std::unique_ptr<ExecutionEngine>> lanes;
+  lanes.reserve(width);
+  for (std::size_t i = 0; i < width; ++i) {
+    EngineConfig config = base;
+    config.seed = seeds[i];
+    lanes.push_back(
+        std::make_unique<ExecutionEngine>(config, factory(config)));
+  }
+
+  // One reset for the whole pass; the snapshot lands on lane 0 below.
+  telemetry::reset();
+  for (auto& lane : lanes) lane->begin_run();
+
+  // Lockstep at tile granularity: each lane advances kTileRounds rounds
+  // before the next lane touches the pass.  Per-round interleaving would
+  // drag every lane's working set (store, views, calendar) through the
+  // cache every round; a tile keeps one lane hot while still bounding
+  // how far any lane can run ahead (the wave semantics the adaptive
+  // sweep schedules on).  Inside a tile, runs of provably-quiet rounds
+  // commit in O(1) via skip_quiet_rounds.
+  static constexpr std::uint64_t kTileRounds = 4096;
+  static const ExecutionEngine::RoundObserver kNoObserver{};
+  for (std::uint64_t tile = 1; tile <= base.rounds; tile += kTileRounds) {
+    const std::uint64_t tile_last =
+        std::min(base.rounds, tile + kTileRounds - 1);
+    for (std::size_t i = 0; i < width; ++i) {
+      const ExecutionEngine::RoundObserver& observer =
+          options.observers.empty() ? kNoObserver : options.observers[i];
+      const bool may_skip = options.allow_quiet_skip && !observer;
+      std::uint64_t round = tile;
+      while (round <= tile_last) {
+        if (may_skip) {
+          round = lanes[i]->skip_quiet_rounds(round, tile_last);
+          if (round > tile_last) break;
+        }
+        lanes[i]->step_round(round, observer);
+        ++round;
+      }
+    }
+  }
+
+  std::vector<RunResult> results;
+  results.reserve(width);
+  for (std::size_t i = 0; i < width; ++i) {
+    results.push_back(lanes[i]->finish_run(/*take_telemetry=*/i == 0));
+  }
+  return results;
+}
+
+ExperimentSummary run_experiment_batched_with(const ExperimentConfig& config,
+                                              std::uint64_t violation_t,
+                                              const AdversaryFactory& factory,
+                                              std::uint32_t batch_seeds) {
+  NEATBOUND_EXPECTS(batch_seeds >= 1, "batch width must be >= 1");
+  ExperimentSummary summary;
+  std::vector<std::uint64_t> seeds;
+  for (std::uint32_t k = 0; k < config.seeds; k += batch_seeds) {
+    const std::uint32_t count = std::min(batch_seeds, config.seeds - k);
+    seeds.clear();
+    for (std::uint32_t j = 0; j < count; ++j) {
+      seeds.push_back(config.base_seed + k + j);
+    }
+    for (const RunResult& result :
+         run_batch(config.engine, seeds, factory)) {
+      accumulate_run(summary, result, violation_t);
+    }
+  }
+  return summary;
+}
+
+ExperimentSummary run_experiment_batched(const ExperimentConfig& config,
+                                         std::uint64_t violation_t,
+                                         std::uint32_t batch_seeds) {
+  return run_experiment_batched_with(
+      config, violation_t, default_adversary_factory(config.adversary),
+      batch_seeds);
+}
+
+}  // namespace neatbound::sim

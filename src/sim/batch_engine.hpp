@@ -1,0 +1,67 @@
+// Cross-seed batched execution: W seeds of one grid cell in lockstep.
+//
+// Counter-mode draws are pure functions of (key, counter) — support/crng —
+// so the W lanes of a batch share nothing but code and caches: stepping
+// them round-major (round 1 of every lane, then round 2, ...) produces
+// exactly the trajectories of W serial runs, which the differential
+// battery (tests/sim/test_batch_equivalence.cpp) pins bit-for-bit per
+// RunResult field.
+//
+// The payoff is the quiet-round fast path: with per-round success
+// probability p and n miners, most rounds of a sparse cell mine nothing
+// and deliver nothing.  A serial legacy run still pays the full
+// per-round loop; a counter-mode lane can *prove* a round quiet from
+// three O(1) reads (gap-cursor peeks + calendar emptiness) and commit it
+// without executing it.  Batching amortizes the remaining per-round
+// overhead across W seeds, which is where the ≥3× throughput of
+// bench_engine_throughput --batch-seeds comes from.
+//
+// Telemetry convention: a batched pass resets the thread-local registers
+// once and attaches the whole-pass snapshot to lane 0's RunResult (all
+// other lanes report zeros), so folding a chunk's results counts the
+// pass exactly once — same totals as summing per-run snapshots.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/runner.hpp"
+
+namespace neatbound::sim {
+
+struct BatchOptions {
+  /// Per-lane round observers: empty, or exactly one entry per seed
+  /// (null entries allowed).  A lane with an observer attached never
+  /// quiet-skips — the observer must see every round.
+  std::vector<ExecutionEngine::RoundObserver> observers;
+  /// Master switch for the quiet-round fast path; the differential
+  /// battery turns it off to pin skip ≡ no-skip per strategy.
+  bool allow_quiet_skip = true;
+};
+
+/// Runs one engine configuration under each seed of `seeds`, all lanes in
+/// round-major lockstep, and returns the per-seed results in seed order.
+/// Requires counter RNG mode (legacy streams cannot be interleaved).
+/// `factory` is invoked once per lane with that lane's config.
+[[nodiscard]] std::vector<RunResult> run_batch(const EngineConfig& base,
+                                               std::span<const std::uint64_t> seeds,
+                                               const AdversaryFactory& factory,
+                                               const BatchOptions& options = {});
+
+/// run_experiment_with, batched: seeds base_seed+0 .. base_seed+seeds−1
+/// are chunked into groups of ≤ batch_seeds, each group runs as one
+/// batched pass, and results fold in seed order through accumulate_run —
+/// the same arithmetic as the serial runner, so the summary is
+/// bit-identical to run_experiment_with for any batch width.
+[[nodiscard]] ExperimentSummary run_experiment_batched_with(
+    const ExperimentConfig& config, std::uint64_t violation_t,
+    const AdversaryFactory& factory, std::uint32_t batch_seeds);
+
+/// Batched variant of run_experiment (default adversary per kind).
+[[nodiscard]] ExperimentSummary run_experiment_batched(
+    const ExperimentConfig& config, std::uint64_t violation_t,
+    std::uint32_t batch_seeds);
+
+}  // namespace neatbound::sim

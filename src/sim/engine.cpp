@@ -1,6 +1,7 @@
 #include "sim/engine.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 
 #include "chains/convergence.hpp"
@@ -15,10 +16,26 @@ std::uint32_t corrupted_count(const EngineConfig& config) {
   return static_cast<std::uint32_t>(std::llround(
       config.adversary_fraction * static_cast<double>(config.miner_count)));
 }
+
+constexpr std::uint64_t purpose_of(crng::Purpose p) noexcept {
+  return static_cast<std::uint64_t>(p);
+}
 }  // namespace
 
 std::uint32_t honest_miner_count(const EngineConfig& config) {
   return config.miner_count - corrupted_count(config);
+}
+
+crng::Key engine_rng_key(const EngineConfig& config) {
+  // Chained mix over the trajectory-shaping parameters; `rounds` and
+  // `seed` deliberately excluded (see the declaration comment).
+  std::uint64_t cell = 0x6e65617462756e64ULL;  // "neatbund" domain tag
+  const auto fold = [&cell](std::uint64_t v) { cell = mix64(cell ^ v); };
+  fold(config.miner_count);
+  fold(std::bit_cast<std::uint64_t>(config.adversary_fraction));
+  fold(std::bit_cast<std::uint64_t>(config.p));
+  fold(config.delta);
+  return {cell, config.seed};
 }
 
 void validate_engine_config(const EngineConfig& config) {
@@ -39,7 +56,7 @@ void validate_engine_config(const EngineConfig& config) {
 class ExecutionEngine::Ops final : public AdversaryOps {
  public:
   Ops(ExecutionEngine& engine, std::uint64_t round, std::uint64_t budget)
-      : engine_(engine), round_(round), remaining_(budget) {}
+      : engine_(engine), round_(round), remaining_(budget), budget_(budget) {}
 
   [[nodiscard]] const protocol::BlockStore& store() const override {
     return engine_.store_;
@@ -65,18 +82,36 @@ class ExecutionEngine::Ops final : public AdversaryOps {
   std::optional<protocol::BlockIndex> try_mine_on(
       protocol::BlockIndex parent) override {
     NEATBOUND_EXPECTS(remaining_ > 0, "adversary query budget exhausted");
+    const std::uint64_t query = budget_ - remaining_;  // index within round
     --remaining_;
-    auto mined = protocol::try_mine(
-        engine_.oracle_, engine_.target_, engine_.store_.hash_of(parent),
-        mix64(++engine_.payload_counter_), engine_.rng_);
-    if (!mined) return std::nullopt;
-    mined->round = round_;
-    mined->miner_class = protocol::MinerClass::kAdversary;
-    mined->miner = engine_.honest_count_;  // corrupted ids share one bucket
+    protocol::Block block;
+    if (engine_.config_.rng_mode == RngMode::kCounter) {
+      // Success is decided by the addressable Bernoulli field at flat
+      // position (round−1)·budget + query; block draws are keyed by
+      // (round, query) so they are independent of every other success.
+      const std::uint64_t pos = (round_ - 1) * budget_ + query;
+      if (!engine_.adversary_gaps_.contains_take(pos)) return std::nullopt;
+      const crng::Block draws = crng::philox4x64(
+          {round_, query, purpose_of(crng::Purpose::kAdversaryBlock), 0},
+          engine_.key_);
+      block = protocol::assemble_block(engine_.oracle_,
+                                       engine_.store_.hash_of(parent),
+                                       /*payload_digest=*/draws[1],
+                                       /*nonce=*/draws[0]);
+    } else {
+      auto mined = protocol::try_mine(
+          engine_.oracle_, engine_.target_, engine_.store_.hash_of(parent),
+          mix64(++engine_.payload_counter_), engine_.rng_);
+      if (!mined) return std::nullopt;
+      block = std::move(*mined);
+    }
+    block.round = round_;
+    block.miner_class = protocol::MinerClass::kAdversary;
+    block.miner = engine_.honest_count_;  // corrupted ids share one bucket
     ++engine_.adversary_blocks_total_;
     ++engine_.round_activity_.adversary_mined;
     NEATBOUND_COUNT(kAdversaryBlocksMined);
-    return engine_.store_.add(std::move(*mined));
+    return engine_.store_.add(std::move(block));
   }
 
   void publish_to(std::uint32_t recipient, protocol::BlockIndex block,
@@ -101,6 +136,7 @@ class ExecutionEngine::Ops final : public AdversaryOps {
   ExecutionEngine& engine_;
   std::uint64_t round_;
   std::uint64_t remaining_;
+  std::uint64_t budget_;
 };
 
 ExecutionEngine::ExecutionEngine(EngineConfig config,
@@ -121,6 +157,20 @@ ExecutionEngine::ExecutionEngine(EngineConfig config,
       rng_(mix64(config.seed)) {
   validate_engine_config(config);
   NEATBOUND_EXPECTS(adversary_ != nullptr, "an adversary is required");
+  if (config.rng_mode == RngMode::kCounter) {
+    key_ = engine_rng_key(config);
+    honest_gaps_ = GapCursor(key_, crng::Purpose::kHonestGap, config.p);
+    if (adversary_queries_ > 0) {
+      adversary_gaps_ =
+          GapCursor(key_, crng::Purpose::kAdversaryGap, config.p);
+    }
+    // Quiet-round skipping additionally requires that the adversary's
+    // act() is observably a no-op on quiet rounds (the contract in
+    // sim/adversary.hpp) and that no environment feeds block payloads.
+    quiet_eligible_ =
+        environment_ == nullptr &&
+        (adversary_queries_ == 0 || adversary_->quiet_act_is_noop());
+  }
   views_.resize(honest_count_);
   tips_scratch_.resize(honest_count_, protocol::kGenesisIndex);
   nonce_scratch_.resize(honest_count_);
@@ -219,92 +269,169 @@ void ExecutionEngine::broadcast_honest(std::uint64_t round,
   echoed_[block] = true;
 }
 
-void ExecutionEngine::honest_mining_phase(std::uint64_t round) {
-  std::uint32_t mined_this_round = 0;
-  // Batched RNG: draw the round's nonces in one dense pass (identical
-  // stream order to per-query draws), then run the oracle queries.
-  for (std::uint32_t m = 0; m < honest_count_; ++m) {
-    nonce_scratch_[m] = rng_.bits();
+void ExecutionEngine::register_honest_block(std::uint64_t round,
+                                            std::uint32_t miner,
+                                            protocol::Block&& block) {
+  block.round = round;
+  block.miner = miner;
+  block.miner_class = protocol::MinerClass::kHonest;
+  if (environment_ != nullptr) {
+    block.message = environment_->message_for(round, miner);
   }
-  for (std::uint32_t m = 0; m < honest_count_; ++m) {
-    const protocol::BlockIndex parent = tips_scratch_[m];
-    auto mined = protocol::try_mine_with_nonce(
-        oracle_, target_, store_.hash_of(parent), mix64(++payload_counter_),
-        nonce_scratch_[m]);
-    if (!mined) continue;
-    mined->round = round;
-    mined->miner = m;
-    mined->miner_class = protocol::MinerClass::kHonest;
-    if (environment_ != nullptr) {
-      mined->message = environment_->message_for(round, m);
-    }
-    const protocol::BlockIndex index = store_.add(std::move(*mined));
-    ++mined_this_round;
-    ++round_activity_.honest_mined;
-    // neatbound-analyze: allow(hot-alloc) — capacity pre-reserved to
-    // honest_count_ in the constructor; this append never reallocates.
-    round_miners_.push_back(m);
-    NEATBOUND_COUNT(kHonestBlocksMined);
-    // The miner adopts its own block immediately (it extends its tip).
-    const AdoptionEvent event = views_[m].deliver(index, store_);
-    if (event.adopted) {
-      ++round_activity_.adoptions;
-      NEATBOUND_COUNT(kAdoptions);
-      if (event.reorg_depth > 0) NEATBOUND_COUNT(kReorgs);
-      note_adoption(m);
-      if (event.reorg_depth > 0) {
-        consistency_.observe_reorg(event.reorg_depth);
-        if (event.reorg_depth > round_activity_.max_reorg_depth) {
-          round_activity_.max_reorg_depth = event.reorg_depth;
-          round_activity_.max_reorg_view = m;
-        }
+  const protocol::BlockIndex index = store_.add(std::move(block));
+  ++round_activity_.honest_mined;
+  // neatbound-analyze: allow(hot-alloc) — capacity pre-reserved to
+  // honest_count_ in the constructor; this append never reallocates.
+  round_miners_.push_back(miner);
+  NEATBOUND_COUNT(kHonestBlocksMined);
+  // The miner adopts its own block immediately (it extends its tip).
+  const AdoptionEvent event = views_[miner].deliver(index, store_);
+  if (event.adopted) {
+    ++round_activity_.adoptions;
+    NEATBOUND_COUNT(kAdoptions);
+    if (event.reorg_depth > 0) NEATBOUND_COUNT(kReorgs);
+    note_adoption(miner);
+    if (event.reorg_depth > 0) {
+      consistency_.observe_reorg(event.reorg_depth);
+      if (event.reorg_depth > round_activity_.max_reorg_depth) {
+        round_activity_.max_reorg_depth = event.reorg_depth;
+        round_activity_.max_reorg_view = miner;
       }
     }
-    adversary_->on_honest_block(round, index);
-    broadcast_honest(round, m, index);
+  }
+  adversary_->on_honest_block(round, index);
+  broadcast_honest(round, miner, index);
+}
+
+void ExecutionEngine::honest_mining_phase(std::uint64_t round) {
+  if (config_.rng_mode == RngMode::kCounter) {
+    // Counter mode: walk the honest Bernoulli success field over this
+    // round's positions [(round−1)·n, round·n).  The cursor is monotone
+    // and every earlier round consumed its own span, so its next success
+    // is already ≥ the round base; miners come out in increasing order,
+    // matching the legacy m = 0..n−1 query loop.
+    const std::uint64_t end =
+        round * static_cast<std::uint64_t>(honest_count_);
+    const std::uint64_t base = end - honest_count_;
+    while (honest_gaps_.peek() < end) {
+      const auto m = static_cast<std::uint32_t>(honest_gaps_.take() - base);
+      const crng::Block draws = crng::philox4x64(
+          {round, m, purpose_of(crng::Purpose::kHonestBlock), 0}, key_);
+      register_honest_block(
+          round, m,
+          protocol::assemble_block(oracle_, store_.hash_of(tips_scratch_[m]),
+                                   /*payload_digest=*/draws[1],
+                                   /*nonce=*/draws[0]));
+    }
+  } else {
+    // Legacy batched RNG: draw the round's nonces in one dense pass
+    // (identical stream order to per-query draws), then run the queries.
+    for (std::uint32_t m = 0; m < honest_count_; ++m) {
+      nonce_scratch_[m] = rng_.bits();
+    }
+    for (std::uint32_t m = 0; m < honest_count_; ++m) {
+      const protocol::BlockIndex parent = tips_scratch_[m];
+      auto mined = protocol::try_mine_with_nonce(
+          oracle_, target_, store_.hash_of(parent), mix64(++payload_counter_),
+          nonce_scratch_[m]);
+      if (!mined) continue;
+      register_honest_block(round, m, std::move(*mined));
+    }
   }
   // neatbound-analyze: allow(hot-alloc) — one amortized append per round
   // into the result metric; geometric growth, not per-miner work.
-  honest_counts_.push_back(mined_this_round);
+  honest_counts_.push_back(round_activity_.honest_mined);
 }
 
-RunResult ExecutionEngine::run(const RoundObserver& observer) {
+void ExecutionEngine::begin_run() {
   NEATBOUND_EXPECTS(!ran_, "run() may be called once");
   ran_ = true;
   honest_counts_.reserve(config_.rounds);
-  // Telemetry registers are thread_local and reset here, so the snapshot
-  // taken after the loop covers exactly this run, on whichever worker
-  // thread executed it.
-  telemetry::reset();
+}
 
-  for (std::uint64_t round = 1; round <= config_.rounds; ++round) {
-    round_activity_ = {};
-    round_miners_.clear();
-    {
-      NEATBOUND_PHASE_SCOPE(kDeliver);
-      deliver_due(round);
-    }
-    {
-      NEATBOUND_PHASE_SCOPE(kMine);
-      honest_mining_phase(round);
-    }
-    // tips_scratch_ / best_tip_ are already current: every adoption path
-    // runs through note_adoption, so the adversary and metrics read the
-    // same snapshot the old per-round rescan produced.
-    if (adversary_queries_ > 0) {
-      NEATBOUND_PHASE_SCOPE(kAdversary);
-      Ops ops(*this, round, adversary_queries_);
-      adversary_->act(ops);
-      // Publication may not change views until delivery, so the snapshot
-      // taken above remains valid for metrics.
-    }
-    {
-      NEATBOUND_PHASE_SCOPE(kMetrics);
-      consistency_.observe_round(tips_scratch_, store_);
-    }
-    if (observer) observer(*this, round);
+void ExecutionEngine::step_round(std::uint64_t round,
+                                 const RoundObserver& observer) {
+  round_activity_ = {};
+  round_miners_.clear();
+  {
+    NEATBOUND_PHASE_SCOPE(kDeliver);
+    deliver_due(round);
   }
+  {
+    NEATBOUND_PHASE_SCOPE(kMine);
+    honest_mining_phase(round);
+  }
+  // tips_scratch_ / best_tip_ are already current: every adoption path
+  // runs through note_adoption, so the adversary and metrics read the
+  // same snapshot the old per-round rescan produced.
+  if (adversary_queries_ > 0) {
+    NEATBOUND_PHASE_SCOPE(kAdversary);
+    Ops ops(*this, round, adversary_queries_);
+    adversary_->act(ops);
+    // Publication may not change views until delivery, so the snapshot
+    // taken above remains valid for metrics.
+    if (config_.rng_mode == RngMode::kCounter) {
+      // Unspent queries of this round are forfeited: the success field
+      // restarts at the next round's base regardless of how much budget
+      // the strategy used, so trajectories never depend on spent budget.
+      adversary_gaps_.advance_to(round *
+                                 static_cast<std::uint64_t>(adversary_queries_));
+    }
+  }
+  {
+    NEATBOUND_PHASE_SCOPE(kMetrics);
+    consistency_.observe_round(tips_scratch_, store_);
+  }
+  if (observer) observer(*this, round);
+}
 
+bool ExecutionEngine::skip_if_quiet(std::uint64_t round) {
+  return skip_quiet_rounds(round, round) > round;
+}
+
+std::uint64_t ExecutionEngine::skip_quiet_rounds(std::uint64_t round,
+                                                 std::uint64_t last) {
+  if (!quiet_eligible_) return round;
+  // A round is quiet iff all three event sources are silent: the honest
+  // success field has no position in the round's span, the adversary
+  // field has none either (so every one of its queries would fail), and
+  // no message is due.  Each source names its next busy round directly —
+  // a gap-cursor position p is the flat address (round−1)·span + slot,
+  // so its round is p/span + 1 — which locates the whole quiet run
+  // without examining the rounds inside it.  Cursors are not advanced;
+  // their next success already lies inside the first busy round.
+  std::uint64_t busy =
+      honest_gaps_.peek() / static_cast<std::uint64_t>(honest_count_) + 1;
+  if (adversary_queries_ > 0) {
+    const std::uint64_t a_busy =
+        adversary_gaps_.peek() /
+            static_cast<std::uint64_t>(adversary_queries_) + 1;
+    busy = a_busy < busy ? a_busy : busy;
+  }
+  if (busy <= round) return round;
+  // has_due first: it advances the ring past drained buckets exactly as
+  // step_round's drain would (the state-equivalence contract), which
+  // also establishes next_due_round's "nothing pending ≤ round"
+  // precondition.
+  if (calendar_.has_due(round)) return round;
+  const std::uint64_t due = calendar_.next_due_round(round);
+  busy = due < busy ? due : busy;
+  const std::uint64_t stop = busy < last + 1 ? busy : last + 1;
+  const std::uint64_t skipped = stop - round;
+  // Commit the quiet rounds: observably identical to stepping each one,
+  // which the skip-vs-noskip differential battery pins per strategy.
+  round_activity_ = {};
+  round_miners_.clear();
+  // neatbound-analyze: allow(hot-alloc) — reserved to `rounds` in
+  // begin_run; this append never reallocates.
+  honest_counts_.insert(honest_counts_.end(), skipped, 0);
+  consistency_.observe_rounds_unchanged(skipped);
+  NEATBOUND_COUNT_ADD(kQuietRoundsSkipped, skipped);
+  return stop;
+}
+
+RunResult ExecutionEngine::finish_run(bool take_telemetry) {
+  NEATBOUND_EXPECTS(ran_, "finish_run() requires begin_run()");
   RunResult result;
   result.honest_counts = honest_counts_;
   result.honest_blocks_total = 0;
@@ -320,8 +447,21 @@ RunResult ExecutionEngine::run(const RoundObserver& observer) {
   result.violation_depth = consistency_.violation_depth();
   result.chain = measure_chain(store_, best_honest_tip(), config_.rounds);
   result.store_size = store_.size();
-  result.telemetry = telemetry::snapshot();
+  if (take_telemetry) result.telemetry = telemetry::snapshot();
   return result;
+}
+
+RunResult ExecutionEngine::run(const RoundObserver& observer) {
+  begin_run();
+  // Telemetry registers are thread_local and reset here, so the snapshot
+  // taken by finish_run covers exactly this run, on whichever worker
+  // thread executed it.  (A batched pass resets once for all lanes —
+  // sim/batch_engine.cpp.)
+  telemetry::reset();
+  for (std::uint64_t round = 1; round <= config_.rounds; ++round) {
+    step_round(round, observer);
+  }
+  return finish_run(/*take_telemetry=*/true);
 }
 
 }  // namespace neatbound::sim

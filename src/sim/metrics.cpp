@@ -23,6 +23,7 @@ void ConsistencyTracker::observe_round(
     tip_epoch_[tip] = epoch_;
     scratch_.push_back(tip);
   }
+  last_round_disagreed_ = scratch_.size() >= 2;
   if (scratch_.size() < 2) return;
   ++disagreement_rounds_;
   for (std::size_t i = 0; i < scratch_.size(); ++i) {

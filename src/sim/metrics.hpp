@@ -29,6 +29,21 @@ class ConsistencyTracker {
   void observe_round(std::span<const protocol::BlockIndex> tips,
                      const protocol::BlockStore& store);
 
+  /// Records a round whose tips are bit-identical to the previous
+  /// observe_round call (no adoptions happened): the divergence maximum
+  /// cannot move, so only the disagreement-round count is folded in.  The
+  /// counter-mode quiet-round fast path (sim/batch_engine.hpp) calls this
+  /// instead of recomputing; results are identical by construction, which
+  /// the batched-vs-serial differential battery pins.
+  void observe_round_unchanged() noexcept { observe_rounds_unchanged(1); }
+
+  /// observe_round_unchanged, `count` rounds at once — the bulk form the
+  /// quiet-round skip uses to commit a whole run of silent rounds in
+  /// O(1).
+  void observe_rounds_unchanged(std::uint64_t count) noexcept {
+    disagreement_rounds_ += last_round_disagreed_ ? count : 0;
+  }
+
   [[nodiscard]] std::uint64_t max_reorg_depth() const noexcept {
     return max_reorg_depth_;
   }
@@ -49,6 +64,9 @@ class ConsistencyTracker {
   std::uint64_t max_reorg_depth_ = 0;
   std::uint64_t max_divergence_ = 0;
   std::uint64_t disagreement_rounds_ = 0;
+  /// Whether the most recent observe_round saw ≥ 2 distinct tips (what an
+  /// unchanged round would see again).
+  bool last_round_disagreed_ = false;
   /// Distinct tips of the round under observation (reused scratch).
   std::vector<protocol::BlockIndex> scratch_;
   /// Epoch-stamped dedup: tip_epoch_[b] == epoch_ iff block b was already

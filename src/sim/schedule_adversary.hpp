@@ -32,6 +32,11 @@ class ScheduleAdversary final : public Adversary {
   void on_honest_block(std::uint64_t round,
                        protocol::BlockIndex block) override;
   void act(AdversaryOps& ops) override;
+  /// The decorator adds no act() behavior of its own (delays are read per
+  /// broadcast, outside act), so the quiet contract is the strategy's.
+  [[nodiscard]] bool quiet_act_is_noop() const override {
+    return strategy_->quiet_act_is_noop();
+  }
   [[nodiscard]] const char* name() const override { return name_.c_str(); }
 
  private:

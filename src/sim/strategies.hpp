@@ -52,6 +52,7 @@ class NullAdversary final : public Adversary {
     return 1;
   }
   void act(AdversaryOps&) override {}
+  [[nodiscard]] bool quiet_act_is_noop() const override { return true; }
   [[nodiscard]] const char* name() const override { return "null"; }
 };
 
@@ -64,6 +65,8 @@ class MaxDelayAdversary final : public Adversary {
     return delta_;
   }
   void act(AdversaryOps& ops) override;
+  /// Quiet rounds only attempt (failing) private-tip queries.
+  [[nodiscard]] bool quiet_act_is_noop() const override { return true; }
   [[nodiscard]] const char* name() const override { return "max-delay"; }
 
  private:
@@ -84,6 +87,10 @@ class PrivateWithholdAdversary final : public Adversary {
                                            std::uint32_t,
                                            protocol::BlockIndex) override;
   void act(AdversaryOps& ops) override;
+  /// Give-up and release decisions depend only on (best height, private
+  /// height, withheld stock), all unchanged in a quiet round, and both
+  /// were already settled idempotently by the previous act().
+  [[nodiscard]] bool quiet_act_is_noop() const override { return true; }
   [[nodiscard]] const char* name() const override {
     return "private-withhold";
   }
@@ -145,6 +152,10 @@ class BalanceAttackAdversary final : public Adversary {
                                            std::uint32_t recipient,
                                            protocol::BlockIndex block) override;
   void act(AdversaryOps& ops) override;
+  /// sync_state is idempotent under unchanged tips, and publication only
+  /// follows a successful query or a repair fork already released by the
+  /// previous act().
+  [[nodiscard]] bool quiet_act_is_noop() const override { return true; }
   [[nodiscard]] const char* name() const override { return "balance-attack"; }
 
   /// Number of times the attacker (re)split the honest miners onto two
@@ -185,6 +196,10 @@ class SelfishMiningAdversary final : public Adversary {
   void on_honest_block(std::uint64_t round,
                        protocol::BlockIndex block) override;
   void act(AdversaryOps& ops) override;
+  /// Releases are gated on on_honest_block (which only fires in rounds
+  /// with honest successes — never quiet), and the fell-behind rebase is
+  /// idempotent under unchanged heights.
+  [[nodiscard]] bool quiet_act_is_noop() const override { return true; }
   [[nodiscard]] const char* name() const override { return "selfish-mining"; }
 
  private:
@@ -207,6 +222,9 @@ class ForkBalancerAdversary final : public Adversary {
                                            std::uint32_t recipient,
                                            protocol::BlockIndex block) override;
   void act(AdversaryOps& ops) override;
+  /// Equivocation pairs advance only on successful queries; branch sync
+  /// and pending-pair invalidation are idempotent under unchanged tips.
+  [[nodiscard]] bool quiet_act_is_noop() const override { return true; }
   [[nodiscard]] const char* name() const override { return "fork-balancer"; }
 
   /// Sibling pairs published so far — each one is a fresh equivocation
@@ -247,6 +265,9 @@ class DelaySaturatingWithholder final : public Adversary {
     return ~0ULL;  // saturate: clamped to Δ by the engine
   }
   void act(AdversaryOps& ops) override;
+  /// The rebase check is idempotent and the overtake release already
+  /// drained every publishable block in the previous act().
+  [[nodiscard]] bool quiet_act_is_noop() const override { return true; }
   [[nodiscard]] const char* name() const override { return "delay-saturate"; }
 
   /// Blocks released so far (each release is the minimal overtaking

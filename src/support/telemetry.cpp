@@ -13,6 +13,7 @@ constexpr const char* kCounterNames[] = {
     "adoptions",            "reorgs",
     "calendar_scheduled",   "calendar_grows",
     "ancestry_queries",     "skip_rows_built",
+    "quiet_rounds_skipped",
 };
 static_assert(sizeof(kCounterNames) / sizeof(kCounterNames[0]) ==
                   kCounterCount,

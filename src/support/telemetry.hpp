@@ -65,6 +65,7 @@ enum class Counter : std::uint8_t {
   kCalendarGrows,          ///< calendar ring re-bucketings
   kAncestryQueries,        ///< BlockStore skip-table ancestry lookups
   kSkipRowsBuilt,          ///< binary-lifting rows added to the store
+  kQuietRoundsSkipped,     ///< rounds committed by the quiet fast path
   kCount,
 };
 inline constexpr std::size_t kCounterCount =

@@ -33,10 +33,10 @@ struct GoldenCase {
 // Pinned verdicts: regenerate with scripts in docs/observability.md if a
 // deliberate engine-semantics change lands, never to paper over drift.
 const std::vector<GoldenCase> kCorpus = {
-    {"fork_balancer_strategy.json", "fork-balancer", "strategy", 172, 4},
-    {"private_withhold_uniform.json", "private-withhold", "uniform", 23, 5},
-    {"balance_attack_split.json", "balance-attack", "split", 16, 4},
-    {"selfish_mining_bursty.json", "selfish-mining", "bursty", 183, 4},
+    {"fork_balancer_strategy.json", "fork-balancer", "strategy", 47, 4},
+    {"private_withhold_uniform.json", "private-withhold", "uniform", 29, 4},
+    {"balance_attack_split.json", "balance-attack", "split", 14, 4},
+    {"selfish_mining_bursty.json", "selfish-mining", "bursty", 151, 4},
 };
 
 std::string fixture_path(const char* file) {

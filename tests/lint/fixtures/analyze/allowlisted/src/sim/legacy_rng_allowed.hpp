@@ -1,0 +1,19 @@
+// Fixture: allowlisted legacy support::Rng use — the kLegacy
+// compatibility pattern the real engine carries until the sequential
+// path is retired.
+#pragma once
+
+namespace neatbound::sim {
+
+class LegacyLane {
+ public:
+  // neatbound-analyze: allow(rng-stream) — fixture: RngMode::kLegacy
+  // compatibility state, silenced with a rationale.
+  explicit LegacyLane(Rng rng) : rng_(rng) {}
+
+ private:
+  // neatbound-analyze: allow(rng-stream) — fixture: legacy state (above)
+  Rng rng_;
+};
+
+}  // namespace neatbound::sim

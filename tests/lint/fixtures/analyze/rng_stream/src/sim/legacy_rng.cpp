@@ -1,0 +1,15 @@
+// Fixture: the sequential legacy generator by name, outside support/.
+// Since the counter-based RNG landed, unqualified support::Rng use in
+// any other module must carry an allow (RngMode::kLegacy sites) or be
+// migrated to support/crng.hpp keyed streams.
+// analyze-expect: rng-stream
+#include "support/rng.hpp"
+
+namespace neatbound::sim {
+
+unsigned long long draw_sequentially(unsigned long long seed) {
+  Rng rng(seed);
+  return rng.bits();
+}
+
+}  // namespace neatbound::sim

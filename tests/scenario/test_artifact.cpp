@@ -138,7 +138,7 @@ TEST(Artifact, StrictReaderRejectsCorruptDocuments) {
   // Wrong format tag.
   {
     std::string bad = good;
-    const auto pos = bad.find("neatbound-violation-v1");
+    const auto pos = bad.find("neatbound-violation-v2");
     ASSERT_NE(pos, std::string::npos);
     bad.replace(pos, 22, "neatbound-violation-v9");
     expect_rejected(bad, "format tag");

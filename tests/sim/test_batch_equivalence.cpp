@@ -1,0 +1,300 @@
+// Differential battery pinning the cross-seed batch engine to the
+// serial engine bit-for-bit.  Counter-mode draws are pure functions of
+// (key, counter), so running W seeds in round-major lockstep — with or
+// without the quiet-round fast path, with or without observers — must
+// produce *exactly* the per-seed RunResults of W serial runs.  Every
+// adversary strategy runs here over a distinct network model, so all
+// seven strategies and all seven models are covered; widths 1, 2, 7 and
+// 64 exercise the degenerate, tiny, odd and full-wave batch shapes.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include "scenario/registry.hpp"
+#include "sim/batch_engine.hpp"
+#include "sim/engine.hpp"
+#include "sim/oracle.hpp"
+#include "sim/runner.hpp"
+#include "sim/trace.hpp"
+#include "support/crng.hpp"
+
+namespace neatbound::sim {
+namespace {
+
+struct Cell {
+  const char* strategy;
+  const char* network;
+};
+
+// Every built-in strategy, each over a different built-in network model,
+// so one sweep covers both registries end to end.
+const Cell kCells[] = {
+    {"null", "immediate"},
+    {"max-delay", "max-delay"},
+    {"private-withhold", "uniform"},
+    {"balance-attack", "split"},
+    {"selfish-mining", "bursty"},
+    {"fork-balancer", "strategy"},
+    {"delay-saturate", "eclipse"},
+};
+
+constexpr std::uint32_t kMaxWidth = 64;
+constexpr std::uint64_t kBaseSeed = 9000;
+
+EngineConfig base_config() {
+  EngineConfig config;
+  config.miner_count = 12;
+  config.adversary_fraction = 0.4;
+  config.delta = 3;
+  config.p = 0.04692883195696345;
+  config.rounds = 300;
+  config.rng_mode = RngMode::kCounter;
+  return config;
+}
+
+AdversaryFactory factory_for(const Cell& cell) {
+  return [cell](const EngineConfig& engine_config) {
+    return scenario::ScenarioRegistry::builtin().make_adversary(
+        cell.network, {}, cell.strategy, {}, engine_config);
+  };
+}
+
+std::vector<std::uint64_t> seeds_upto(std::uint32_t width) {
+  std::vector<std::uint64_t> seeds;
+  for (std::uint32_t k = 0; k < width; ++k) seeds.push_back(kBaseSeed + k);
+  return seeds;
+}
+
+std::vector<RunResult> serial_reference(const Cell& cell,
+                                        std::uint32_t width) {
+  const AdversaryFactory factory = factory_for(cell);
+  std::vector<RunResult> results;
+  for (const std::uint64_t seed : seeds_upto(width)) {
+    EngineConfig config = base_config();
+    config.seed = seed;
+    ExecutionEngine engine(config, factory(config));
+    results.push_back(engine.run());
+  }
+  return results;
+}
+
+// Field-by-field equality over everything a RunResult reports except the
+// telemetry snapshot (a batched pass attaches the whole-pass snapshot to
+// lane 0 by design; the serial runs each carry their own).
+void expect_result_equal(const RunResult& got, const RunResult& want) {
+  EXPECT_EQ(got.honest_counts, want.honest_counts);
+  EXPECT_EQ(got.honest_blocks_total, want.honest_blocks_total);
+  EXPECT_EQ(got.adversary_blocks_total, want.adversary_blocks_total);
+  EXPECT_EQ(got.convergence_opportunities, want.convergence_opportunities);
+  EXPECT_EQ(got.max_reorg_depth, want.max_reorg_depth);
+  EXPECT_EQ(got.max_divergence, want.max_divergence);
+  EXPECT_EQ(got.disagreement_rounds, want.disagreement_rounds);
+  EXPECT_EQ(got.violation_depth, want.violation_depth);
+  EXPECT_EQ(got.chain.best_height, want.chain.best_height);
+  EXPECT_EQ(got.chain.growth_per_round, want.chain.growth_per_round);
+  EXPECT_EQ(got.chain.honest_blocks_in_chain,
+            want.chain.honest_blocks_in_chain);
+  EXPECT_EQ(got.chain.adversary_blocks_in_chain,
+            want.chain.adversary_blocks_in_chain);
+  EXPECT_EQ(got.chain.quality, want.chain.quality);
+  EXPECT_EQ(got.store_size, want.store_size);
+}
+
+class BatchEquivalence : public ::testing::TestWithParam<Cell> {};
+
+// The tentpole identity: one batched pass of W seeds produces, per seed,
+// exactly the RunResult of that seed's serial run — for every batch
+// width, with the quiet-round fast path armed (the default).
+TEST_P(BatchEquivalence, BatchedPassMatchesSerialRunsBitForBit) {
+  const Cell cell = GetParam();
+  const std::vector<RunResult> serial = serial_reference(cell, kMaxWidth);
+  for (const std::uint32_t width : {1u, 2u, 7u, 64u}) {
+    SCOPED_TRACE("width=" + std::to_string(width));
+    const std::vector<std::uint64_t> seeds = seeds_upto(width);
+    const std::vector<RunResult> batched =
+        run_batch(base_config(), seeds, factory_for(cell));
+    ASSERT_EQ(batched.size(), width);
+    for (std::uint32_t k = 0; k < width; ++k) {
+      SCOPED_TRACE("seed=" + std::to_string(seeds[k]));
+      expect_result_equal(batched[k], serial[k]);
+    }
+  }
+}
+
+// The quiet-round fast path commits rounds it proves empty without
+// executing them; disabling it forces the full per-round loop.  Both
+// paths must agree with each other (and, by the test above, with
+// serial) for every strategy — this is the skip ≡ no-skip pin.
+TEST_P(BatchEquivalence, QuietSkipOnAndOffAgree) {
+  const Cell cell = GetParam();
+  const std::vector<std::uint64_t> seeds = seeds_upto(16);
+  BatchOptions no_skip;
+  no_skip.allow_quiet_skip = false;
+  const std::vector<RunResult> skipping =
+      run_batch(base_config(), seeds, factory_for(cell));
+  const std::vector<RunResult> stepping =
+      run_batch(base_config(), seeds, factory_for(cell), no_skip);
+  ASSERT_EQ(skipping.size(), stepping.size());
+  for (std::size_t k = 0; k < seeds.size(); ++k) {
+    SCOPED_TRACE("seed=" + std::to_string(seeds[k]));
+    expect_result_equal(skipping[k], stepping[k]);
+  }
+}
+
+// Observers are read-only: arming an invariant oracle *and* a round
+// tracer on every lane must not move a single result field, even though
+// observed lanes lose the quiet-round fast path.  This is the batched
+// version of the "tracing is free" contract the serial engine pins.
+TEST_P(BatchEquivalence, ArmedAndTracedBatchMatchesUnarmedUntraced) {
+  const Cell cell = GetParam();
+  const std::uint32_t width = 8;
+  const std::vector<std::uint64_t> seeds = seeds_upto(width);
+  const std::vector<RunResult> plain =
+      run_batch(base_config(), seeds, factory_for(cell));
+
+  OracleConfig oracle_config;
+  oracle_config.common_prefix_t = 3;
+  oracle_config.slice_rounds = 32;
+  std::vector<std::unique_ptr<InvariantOracle>> oracles;
+  std::vector<std::unique_ptr<std::ostringstream>> streams;
+  std::vector<std::unique_ptr<BoundedTraceWriter>> writers;
+  BatchOptions observed;
+  for (std::uint32_t k = 0; k < width; ++k) {
+    oracles.push_back(std::make_unique<InvariantOracle>(oracle_config));
+    streams.push_back(std::make_unique<std::ostringstream>());
+    writers.push_back(
+        std::make_unique<BoundedTraceWriter>(*streams.back(), TraceBounds{}));
+    observed.observers.push_back(
+        [oracle = oracles.back().get(),
+         tracer = make_round_tracer(*writers.back())](
+            const ExecutionEngine& engine, std::uint64_t round) {
+          oracle->observe(engine, round);
+          tracer(engine, round);
+        });
+  }
+  const std::vector<RunResult> armed =
+      run_batch(base_config(), seeds, factory_for(cell), observed);
+
+  ASSERT_EQ(armed.size(), plain.size());
+  for (std::uint32_t k = 0; k < width; ++k) {
+    SCOPED_TRACE("seed=" + std::to_string(seeds[k]));
+    expect_result_equal(armed[k], plain[k]);
+    // Every lane's tracer saw every round; its stream must parse back as
+    // exactly `rounds` strict records.
+    std::istringstream in(streams[k]->str());
+    EXPECT_EQ(read_trace_jsonl(in).size(), base_config().rounds);
+    // An oracle that fired must report a depth the un-observed run also
+    // measured — observation cannot invent or lose violations.
+    if (oracles[k]->violated()) {
+      EXPECT_GT(plain[k].violation_depth,
+                oracle_config.common_prefix_t);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCells, BatchEquivalence, ::testing::ValuesIn(kCells),
+    [](const ::testing::TestParamInfo<Cell>& info) {
+      std::string name = std::string(info.param.strategy) + "_" +
+                         info.param.network;
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+// The summary fold is the same arithmetic for every batch width: chunked
+// batched aggregation must reproduce the serial runner's RunningStats
+// accumulators exactly (count, mean, m2, min, max — the persisted
+// state), not just approximately.
+TEST(BatchEquivalence, BatchedExperimentSummaryMatchesSerial) {
+  ExperimentConfig config;
+  config.engine = base_config();
+  config.seeds = 13;  // deliberately not a multiple of any width below
+  config.base_seed = kBaseSeed;
+  const AdversaryFactory factory = factory_for({"fork-balancer", "strategy"});
+  const ExperimentSummary serial =
+      run_experiment_with(config, 3, factory);
+  const auto expect_stats_equal = [](const stats::RunningStats& got,
+                                     const stats::RunningStats& want) {
+    const auto g = got.state();
+    const auto w = want.state();
+    EXPECT_EQ(g.count, w.count);
+    EXPECT_EQ(g.mean, w.mean);
+    EXPECT_EQ(g.m2, w.m2);
+    EXPECT_EQ(g.min, w.min);
+    EXPECT_EQ(g.max, w.max);
+  };
+  for (const std::uint32_t width : {1u, 2u, 7u, 64u}) {
+    SCOPED_TRACE("batch_seeds=" + std::to_string(width));
+    const ExperimentSummary batched =
+        run_experiment_batched_with(config, 3, factory, width);
+    expect_stats_equal(batched.convergence_opportunities,
+                       serial.convergence_opportunities);
+    expect_stats_equal(batched.adversary_blocks, serial.adversary_blocks);
+    expect_stats_equal(batched.honest_blocks, serial.honest_blocks);
+    expect_stats_equal(batched.violation_depth, serial.violation_depth);
+    expect_stats_equal(batched.max_reorg_depth, serial.max_reorg_depth);
+    expect_stats_equal(batched.max_divergence, serial.max_divergence);
+    expect_stats_equal(batched.disagreement_rounds,
+                       serial.disagreement_rounds);
+    expect_stats_equal(batched.chain_growth, serial.chain_growth);
+  }
+}
+
+// Counter-RNG order independence: a draw's value depends only on its
+// (key, counter) address, never on which draws happened before it.
+// Walking a set of addresses forward, backward, and interleaved across
+// two simulated "lanes" must read identical values — the property the
+// whole batch engine rests on.
+TEST(CrngOrderIndependence, DrawsAreAddressedNotSequenced) {
+  const crng::Key key{0x1234abcdULL, 77};
+  std::vector<crng::Counter> addresses;
+  for (std::uint64_t round = 1; round <= 40; ++round) {
+    for (std::uint64_t miner = 0; miner < 5; ++miner) {
+      addresses.push_back(
+          {round, miner,
+           static_cast<std::uint64_t>(crng::Purpose::kHonestBlock), 0});
+    }
+  }
+  std::vector<std::uint64_t> forward;
+  for (const crng::Counter& c : addresses) {
+    forward.push_back(crng::draw(key, c));
+  }
+  // Backward.
+  for (std::size_t i = addresses.size(); i-- > 0;) {
+    EXPECT_EQ(crng::draw(key, addresses[i]), forward[i]);
+  }
+  // Interleaved across two lanes (distinct seeds), alternating draws —
+  // the batch engine's access pattern.  Each lane's values must match
+  // that lane's own forward pass.
+  const crng::Key lane_a{key.cell, 1001};
+  const crng::Key lane_b{key.cell, 1002};
+  std::vector<std::uint64_t> a_forward;
+  std::vector<std::uint64_t> b_forward;
+  for (const crng::Counter& c : addresses) {
+    a_forward.push_back(crng::draw(lane_a, c));
+    b_forward.push_back(crng::draw(lane_b, c));
+  }
+  for (std::size_t i = 0; i < addresses.size(); ++i) {
+    EXPECT_EQ(crng::draw(lane_b, addresses[i]), b_forward[i]);
+    EXPECT_EQ(crng::draw(lane_a, addresses[i]), a_forward[i]);
+  }
+  // And two independent Streams over disjoint (a, b) prefixes do not
+  // perturb each other no matter how their pulls interleave.
+  crng::Stream solo(key, 7, 7, crng::Purpose::kGeneric);
+  std::vector<std::uint64_t> solo_bits;
+  for (int i = 0; i < 16; ++i) solo_bits.push_back(solo.bits());
+  crng::Stream again(key, 7, 7, crng::Purpose::kGeneric);
+  crng::Stream other(key, 7, 8, crng::Purpose::kGeneric);
+  for (int i = 0; i < 16; ++i) {
+    (void)other.bits();
+    EXPECT_EQ(again.bits(), solo_bits[static_cast<std::size_t>(i)]);
+  }
+}
+
+}  // namespace
+}  // namespace neatbound::sim

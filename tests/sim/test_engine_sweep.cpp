@@ -54,7 +54,7 @@ TEST_P(EngineSweep, UniversalInvariants) {
   // count of convergence opportunities (each adds one agreed block).
   const auto report = protocol::validate_chain(
       engine.store(), engine.best_honest_tip(), engine.oracle(),
-      engine.target());
+      engine.target(), engine.validation_policy());
   EXPECT_TRUE(report.valid) << report.failure;
   EXPECT_GE(engine.store().height_of(engine.best_honest_tip()),
             result.convergence_opportunities);
